@@ -1,0 +1,126 @@
+//! # petal-apps — the seven paper benchmarks
+//!
+//! Each module reproduces one benchmark from §6 of *Portable Performance on
+//! Heterogeneous Architectures*, expressed against the `petal-core` choice
+//! API so the autotuner can search its algorithm/placement/mapping space:
+//!
+//! | Module | Benchmark | Choice space highlights |
+//! |---|---|---|
+//! | [`blackscholes`] | Black-Scholes | CPU/GPU placement, fractional 1/8 splits |
+//! | [`poisson`] | Poisson2D SOR | per-phase backend choice (split vs. iterate) |
+//! | [`convolution`] | SeparableConvolution | 2D vs. separable × local-memory mapping |
+//! | [`sort`] | Sort | 7-algorithm recursive poly-algorithm + GPU bitonic |
+//! | [`strassen`] | Strassen | recursive decompositions, LAPACK leaf, GPU matmul |
+//! | [`svd`] | SVD (variable accuracy) | task-parallel CPU+GPU, nested matmul selectors |
+//! | [`tridiagonal`] | Tridiagonal Solver | direct solve vs. GPU cyclic reduction |
+//!
+//! All inputs are deterministic (seeded), and every benchmark carries a
+//! host-side reference implementation used by `Instance::check`.
+
+pub mod blackscholes;
+pub mod convolution;
+pub mod poisson;
+pub mod sort;
+pub mod strassen;
+pub mod svd;
+pub mod tridiagonal;
+pub mod workload;
+
+use petal_core::executor::{ExecReport, Executor};
+use petal_core::{Config, Error, Plan, Program, World};
+use petal_gpu::profile::MachineProfile;
+
+/// One runnable problem instance: the world holding inputs/outputs, the
+/// schedule for the chosen configuration, and a correctness check to run
+/// after execution.
+pub struct Instance {
+    /// Matrices (inputs allocated, outputs zeroed).
+    pub world: World,
+    /// The schedule for this configuration.
+    pub plan: Plan,
+    /// Post-run verification against the reference implementation.
+    pub check: Box<dyn Fn(&World) -> Result<(), String>>,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance").field("plan", &self.plan).finish_non_exhaustive()
+    }
+}
+
+/// A tunable benchmark: everything the autotuner and the figure harnesses
+/// need.
+pub trait Benchmark {
+    /// Display name (matches the paper's benchmark tables).
+    fn name(&self) -> &str;
+
+    /// The input size fed to selectors.
+    fn input_size(&self) -> u64;
+
+    /// Choice-space metadata (selectors, tunables, kernel counts).
+    fn program(&self, machine: &MachineProfile) -> Program;
+
+    /// Build a world + plan for one configuration.
+    fn instantiate(&self, machine: &MachineProfile, cfg: &Config) -> Instance;
+
+    /// Convenience: build, execute on a fresh executor, verify, report.
+    ///
+    /// # Errors
+    /// Execution failures, or a [`Error::Validation`] when the result does
+    /// not match the reference implementation.
+    fn run_with_config(&self, machine: &MachineProfile, cfg: &Config) -> Result<ExecReport, Error> {
+        let Instance { mut world, plan, check } = self.instantiate(machine, cfg);
+        let mut ex = Executor::new(machine);
+        let report = ex.run(plan, &mut world)?;
+        check(&world).map_err(Error::Validation)?;
+        Ok(report)
+    }
+
+    /// A smaller (or larger) copy of this benchmark for the autotuner's
+    /// exponentially growing input-size schedule (§5.2). `None` when the
+    /// size is too small to be a valid instance.
+    fn resized(&self, size: u64) -> Option<Box<dyn Benchmark>> {
+        let _ = size;
+        None
+    }
+
+    /// Convenience: run with the untuned default configuration.
+    ///
+    /// # Errors
+    /// Same as [`Benchmark::run_with_config`].
+    fn run_default(&self, machine: &MachineProfile) -> Result<ExecReport, Error> {
+        let cfg = self.program(machine).default_config(machine);
+        self.run_with_config(machine, &cfg)
+    }
+}
+
+/// All seven benchmarks at the sizes used by the harness binaries
+/// (reduced from the paper's sizes so functional execution stays fast; the
+/// harness `--full` flag restores the paper's sizes).
+#[must_use]
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(blackscholes::BlackScholes::new(100_000)),
+        Box::new(poisson::Poisson2D::new(128, 8)),
+        Box::new(convolution::SeparableConvolution::new(256, 7)),
+        Box::new(sort::Sort::new(1 << 16)),
+        Box::new(strassen::Strassen::new(256)),
+        Box::new(svd::Svd::new(64, 0.15)),
+        Box::new(tridiagonal::Tridiagonal::new(1 << 12)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_runs_with_defaults_on_every_machine() {
+        for b in all_benchmarks() {
+            for m in MachineProfile::all() {
+                let r = b.run_default(&m);
+                assert!(r.is_ok(), "{} on {}: {:?}", b.name(), m.codename, r.err());
+            }
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The Strassen benchmark (§6.2, Fig. 7e): dense matrix multiplication.
+//!
+//! "The choices include: transposing any combination of the inputs; four
+//! different recursive decompositions, including Strassen's algorithm;
+//! various blocking methods; naive matrix multiplication; and calling the
+//! LAPACK external library." The selector is consulted at every recursive
+//! call site, so tuned configurations are poly-algorithms like Fig. 6's
+//! "8-way parallel recursive decomposition on CPU, call LAPACK when
+//! < 682×682" (Server) vs. "directly call LAPACK" (Laptop) vs. "data
+//! parallel on GPU" (Desktop).
+//!
+//! Selector values: 0 = LAPACK leaf, 1 = naive leaf, 2 = transposed leaf,
+//! 3 = blocked leaf, 4 = 8-multiply recursive decomposition, 5 = Strassen's
+//! 7-multiply decomposition; with OpenCL available, 6 = data-parallel GPU
+//! kernel (with the `*.gpu_ratio` fractional split).
+
+use crate::workload::random_matrix;
+use crate::Instance;
+use petal_blas::gemm::{blocked_gemm, gemm_flops, lapack_gemm, naive_gemm, transposed_gemm};
+use petal_blas::Matrix;
+use petal_core::plan::{NativeStep, Placement, PlanBuilder, StencilStep, StepId};
+use petal_core::program::ChoiceSite;
+use petal_core::stencil::{AccessPattern, StencilInput, StencilRule};
+use petal_core::{Config, MatrixId, Program, World};
+use petal_gpu::cost::CpuWork;
+use petal_gpu::profile::MachineProfile;
+use petal_rt::Charge;
+use std::sync::Arc;
+
+/// Recursion never descends below this size (leaves take over).
+pub const MIN_RECURSE: usize = 32;
+
+/// The data-parallel matmul rule: `C[y][x] = Σ_k A[y][k]·B[k][x]`.
+#[must_use]
+pub fn rule_matmul() -> Arc<StencilRule> {
+    Arc::new(StencilRule {
+        name: "matmul_dp".into(),
+        inputs: vec![
+            StencilInput { index: 0, access: AccessPattern::Row },
+            StencilInput { index: 1, access: AccessPattern::Column },
+        ],
+        flops_per_output: 0.0, // set per instantiation (depends on K)
+        body_c: "int kk = (int)user_scalars[0];\n\
+                 for (int k = 0; k < kk; k++)\n\
+                     result += IN0(k, y) * IN1(x, k);"
+            .into(),
+        elem: Arc::new(|env, x, y| {
+            let kk = env.scalars[0] as usize;
+            (0..kk).map(|k| env.inputs[0].at(k, y) * env.inputs[1].at(x, k)).sum()
+        }),
+        native_only_body: false,
+    })
+}
+
+/// Emit a plan computing `c = a · b` (all `n × n`), consulting
+/// `cfg.select(selector, n)` at every recursion level.
+///
+/// Returns the terminal steps of the multiplication.
+#[allow(clippy::too_many_arguments)]
+pub fn build_matmul(
+    p: &mut PlanBuilder,
+    world: &mut World,
+    cfg: &Config,
+    machine: &MachineProfile,
+    selector: &str,
+    a: MatrixId,
+    b: MatrixId,
+    c: MatrixId,
+    n: usize,
+    deps: &[StepId],
+) -> Vec<StepId> {
+    let mut choice = cfg.select(selector, n as u64);
+    let gpu_index = 6;
+    if choice == gpu_index && !machine.has_opencl() {
+        choice = 0;
+    }
+    if n < MIN_RECURSE || n % 2 != 0 {
+        choice = choice.min(3); // leaves only
+    }
+    match choice {
+        4 => build_recursive_8(p, world, cfg, machine, selector, a, b, c, n, deps),
+        5 => build_strassen_7(p, world, cfg, machine, selector, a, b, c, n, deps),
+        6 => {
+            let rule = rule_matmul();
+            let mut rule_owned = (*rule).clone();
+            rule_owned.flops_per_output = 2.0 * n as f64;
+            let max_wg = machine.gpu.as_ref().map_or(1, |g| g.max_work_group) as i64;
+            let local_size =
+                cfg.tunable_or(&format!("{selector}.local_size"), 128).clamp(1, max_wg) as usize;
+            let ratio = cfg.tunable_or(&format!("{selector}.gpu_ratio"), 8).clamp(0, 8) as u8;
+            let placement = match ratio {
+                0 => Placement::Cpu { chunks: machine.cpu.cores * 2 },
+                8 => Placement::OpenCl { local_memory: false, local_size },
+                e => Placement::Split {
+                    gpu_eighths: e,
+                    local_memory: false,
+                    local_size,
+                    cpu_chunks: machine.cpu.cores * 2,
+                },
+            };
+            let s = p.stencil(
+                StencilStep {
+                    rule: Arc::new(rule_owned),
+                    inputs: vec![a, b],
+                    output: c,
+                    out_dims: (n, n),
+                    user_scalars: vec![n as f64],
+                    placement,
+                },
+                deps,
+            );
+            vec![s]
+        }
+        leaf => {
+            let s = p.native(
+                NativeStep {
+                    label: format!("gemm_leaf{leaf}_{n}"),
+                    reads: vec![a, b],
+                    writes: vec![c],
+                    run: Box::new(move |w: &mut World, ctx| {
+                        let extra = w.ensure_host(a, ctx.now()) + w.ensure_host(b, ctx.now());
+                        let (result, work) = leaf_gemm(leaf, w.get(a), w.get(b));
+                        w.set(c, result);
+                        Charge::WorkPlusSecs(work, extra)
+                    }),
+                },
+                deps,
+            );
+            vec![s]
+        }
+    }
+}
+
+/// Execute and cost one leaf kernel choice.
+fn leaf_gemm(leaf: usize, a: &Matrix, b: &Matrix) -> (Matrix, CpuWork) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let flops = gemm_flops(m, k, n);
+    match leaf {
+        1 => (naive_gemm(a, b), CpuWork::new(flops, flops * 4.0)), // strided misses
+        2 => (transposed_gemm(a, b), CpuWork::new(flops, flops * 0.8)),
+        3 => (blocked_gemm(a, b, 64), CpuWork::new(flops, flops * 0.35)),
+        // LAPACK: vectorized (≈4-wide) and cache-blocked.
+        _ => (lapack_gemm(a, b), CpuWork::new(flops / 4.0, flops * 0.3)),
+    }
+}
+
+/// Quadrant helper: allocate the four `n/2` quadrants of a matrix.
+fn alloc_quads(world: &mut World, h: usize) -> [MatrixId; 4] {
+    [
+        world.alloc(Matrix::zeros(h, h)),
+        world.alloc(Matrix::zeros(h, h)),
+        world.alloc(Matrix::zeros(h, h)),
+        world.alloc(Matrix::zeros(h, h)),
+    ]
+}
+
+/// Native step extracting the 2×2 quadrants of `src` into `dst`.
+fn split_step(p: &mut PlanBuilder, src: MatrixId, dst: [MatrixId; 4], h: usize, deps: &[StepId]) -> StepId {
+    p.native(
+        NativeStep {
+            label: format!("split_{h}"),
+            reads: vec![src],
+            writes: dst.to_vec(),
+            run: Box::new(move |w: &mut World, ctx| {
+                let extra = w.ensure_host(src, ctx.now());
+                let m = w.take_matrix(src);
+                for (q, id) in dst.into_iter().enumerate() {
+                    let (r0, c0) = (h * (q / 2), h * (q % 2));
+                    let block = m.block(r0, c0, h, h);
+                    w.set(id, block);
+                }
+                w.restore_matrix(src, m);
+                Charge::WorkPlusSecs(CpuWork::new(0.0, (4 * h * h * 8 * 2) as f64), extra)
+            }),
+        },
+        deps,
+    )
+}
+
+/// 8-multiply recursive decomposition: the classic 2×2 block algorithm,
+/// with all eight sub-multiplies as independent (stealable) chains.
+#[allow(clippy::too_many_arguments)]
+fn build_recursive_8(
+    p: &mut PlanBuilder,
+    world: &mut World,
+    cfg: &Config,
+    machine: &MachineProfile,
+    selector: &str,
+    a: MatrixId,
+    b: MatrixId,
+    c: MatrixId,
+    n: usize,
+    deps: &[StepId],
+) -> Vec<StepId> {
+    let h = n / 2;
+    let aq = alloc_quads(world, h);
+    let bq = alloc_quads(world, h);
+    let sa = split_step(p, a, aq, h, deps);
+    let sb = split_step(p, b, bq, h, deps);
+    // c11 = a11 b11 + a12 b21 ; c12 = a11 b12 + a12 b22 ; etc.
+    let pairs: [(usize, usize); 8] =
+        [(0, 0), (1, 2), (0, 1), (1, 3), (2, 0), (3, 2), (2, 1), (3, 3)];
+    let mut products = Vec::with_capacity(8);
+    let mut terminals = Vec::new();
+    for (ai, bi) in pairs {
+        let t = world.alloc(Matrix::zeros(h, h));
+        let term = build_matmul(p, world, cfg, machine, selector, aq[ai], bq[bi], t, h, &[sa, sb]);
+        products.push(t);
+        terminals.extend(term);
+    }
+    let combine = p.native(
+        NativeStep {
+            label: format!("combine8_{n}"),
+            reads: products.clone(),
+            writes: vec![c],
+            run: Box::new(move |w: &mut World, ctx| {
+                let mut extra = 0.0;
+                for &t in &products {
+                    extra += w.ensure_host(t, ctx.now());
+                }
+                let mut out = Matrix::zeros(n, n);
+                for q in 0..4 {
+                    let sum = w.get(products[2 * q]).add(w.get(products[2 * q + 1]));
+                    out.set_block(h * (q / 2), h * (q % 2), &sum);
+                }
+                w.set(c, out);
+                Charge::WorkPlusSecs(
+                    CpuWork::new((n * n) as f64, (n * n * 8 * 3) as f64),
+                    extra,
+                )
+            }),
+        },
+        &terminals,
+    );
+    vec![combine]
+}
+
+/// Strassen's 7-multiply decomposition.
+#[allow(clippy::too_many_arguments)]
+fn build_strassen_7(
+    p: &mut PlanBuilder,
+    world: &mut World,
+    cfg: &Config,
+    machine: &MachineProfile,
+    selector: &str,
+    a: MatrixId,
+    b: MatrixId,
+    c: MatrixId,
+    n: usize,
+    deps: &[StepId],
+) -> Vec<StepId> {
+    let h = n / 2;
+    let aq = alloc_quads(world, h);
+    let bq = alloc_quads(world, h);
+    let sa = split_step(p, a, aq, h, deps);
+    let sb = split_step(p, b, bq, h, deps);
+    // Left/right operands of the seven products, as (+/-) quadrant sums:
+    // M1=(A11+A22)(B11+B22), M2=(A21+A22)B11, M3=A11(B12-B22),
+    // M4=A22(B21-B11), M5=(A11+A12)B22, M6=(A21-A11)(B11+B12),
+    // M7=(A12-A22)(B21+B22).
+    type Combo = (Vec<(usize, f64)>, bool); // (terms, from_a)
+    let operands: [(Combo, Combo); 7] = [
+        ((vec![(0, 1.0), (3, 1.0)], true), (vec![(0, 1.0), (3, 1.0)], false)),
+        ((vec![(2, 1.0), (3, 1.0)], true), (vec![(0, 1.0)], false)),
+        ((vec![(0, 1.0)], true), (vec![(1, 1.0), (3, -1.0)], false)),
+        ((vec![(3, 1.0)], true), (vec![(2, 1.0), (0, -1.0)], false)),
+        ((vec![(0, 1.0), (1, 1.0)], true), (vec![(3, 1.0)], false)),
+        ((vec![(2, 1.0), (0, -1.0)], true), (vec![(0, 1.0), (1, 1.0)], false)),
+        ((vec![(1, 1.0), (3, -1.0)], true), (vec![(2, 1.0), (3, 1.0)], false)),
+    ];
+    let mut m_ids = Vec::with_capacity(7);
+    let mut terminals = Vec::new();
+    for (left, right) in operands {
+        let make_operand = |p: &mut PlanBuilder, world: &mut World, combo: &Combo| {
+            let (terms, from_a) = combo;
+            let quads = if *from_a { aq } else { bq };
+            if terms.len() == 1 && (terms[0].1 - 1.0).abs() < f64::EPSILON {
+                // A bare quadrant: no sum step needed.
+                (quads[terms[0].0], None)
+            } else {
+                let dst = world.alloc(Matrix::zeros(h, h));
+                let terms = terms.clone();
+                let s = p.native(
+                    NativeStep {
+                        label: format!("strassen_sum_{h}"),
+                        reads: terms.iter().map(|&(q, _)| quads[q]).collect(),
+                        writes: vec![dst],
+                        run: Box::new(move |w: &mut World, ctx| {
+                            let mut extra = 0.0;
+                            for &(q, _) in &terms {
+                                extra += w.ensure_host(quads[q], ctx.now());
+                            }
+                            let mut acc = Matrix::zeros(h, h);
+                            for &(q, sign) in &terms {
+                                acc = acc.add(&w.get(quads[q]).scaled(sign));
+                            }
+                            w.set(dst, acc);
+                            Charge::WorkPlusSecs(
+                                CpuWork::new((h * h) as f64, (h * h * 8 * 3) as f64),
+                                extra,
+                            )
+                        }),
+                    },
+                    &[sa, sb],
+                );
+                (dst, Some(s))
+            }
+        };
+        let (l_id, l_step) = make_operand(p, world, &left);
+        let (r_id, r_step) = make_operand(p, world, &right);
+        let mut product_deps = vec![sa, sb];
+        product_deps.extend(l_step);
+        product_deps.extend(r_step);
+        let t = world.alloc(Matrix::zeros(h, h));
+        let term = build_matmul(p, world, cfg, machine, selector, l_id, r_id, t, h, &product_deps);
+        m_ids.push(t);
+        terminals.extend(term);
+    }
+    let combine = p.native(
+        NativeStep {
+            label: format!("strassen_combine_{n}"),
+            reads: m_ids.clone(),
+            writes: vec![c],
+            run: Box::new(move |w: &mut World, ctx| {
+                let mut extra = 0.0;
+                for &t in &m_ids {
+                    extra += w.ensure_host(t, ctx.now());
+                }
+                let m = |i: usize| w.get(m_ids[i]);
+                let c11 = m(0).add(m(3)).sub(m(4)).add(m(6));
+                let c12 = m(2).add(m(4));
+                let c21 = m(1).add(m(3));
+                let c22 = m(0).sub(m(1)).add(m(2)).add(m(5));
+                let mut out = Matrix::zeros(n, n);
+                out.set_block(0, 0, &c11);
+                out.set_block(0, h, &c12);
+                out.set_block(h, 0, &c21);
+                out.set_block(h, h, &c22);
+                w.set(c, out);
+                Charge::WorkPlusSecs(
+                    CpuWork::new(2.0 * (n * n) as f64, (n * n * 8 * 4) as f64),
+                    extra,
+                )
+            }),
+        },
+        &terminals,
+    );
+    vec![combine]
+}
+
+/// The Strassen benchmark: `c = a · b` over `n × n` inputs.
+#[derive(Debug, Clone)]
+pub struct Strassen {
+    n: usize,
+}
+
+impl Strassen {
+    /// New instance (the paper uses n = 1024).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty matrices");
+        Strassen { n }
+    }
+}
+
+impl crate::Benchmark for Strassen {
+    fn name(&self) -> &str {
+        "Strassen"
+    }
+
+    fn input_size(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn resized(&self, size: u64) -> Option<Box<dyn crate::Benchmark>> {
+        (size >= 8).then(|| Box::new(Strassen::new(size as usize)) as Box<dyn crate::Benchmark>)
+    }
+
+    fn program(&self, _machine: &MachineProfile) -> Program {
+        let mut p = Program::new("strassen");
+        p.add_site(ChoiceSite {
+            name: "matmul".into(),
+            // LAPACK, naive, transposed, blocked, 8-way, Strassen-7.
+            num_algs: 6,
+            opencl: true,
+            // The hand-coded OpenCL baseline's local-memory accumulation is
+            // deliberately not implemented (§6.2: "we have not implemented
+            // a similar optimization").
+            local_memory_variant: false,
+        });
+        p
+    }
+
+    fn instantiate(&self, machine: &MachineProfile, cfg: &Config) -> Instance {
+        let n = self.n;
+        let mut world = World::new();
+        let a_m = random_matrix(n, n, -1.0, 1.0, 51);
+        let b_m = random_matrix(n, n, -1.0, 1.0, 52);
+        let a = world.alloc(a_m.clone());
+        let b = world.alloc(b_m.clone());
+        let c = world.alloc(Matrix::zeros(n, n));
+        let mut p = PlanBuilder::new();
+        build_matmul(&mut p, &mut world, cfg, machine, "matmul", a, b, c, n, &[]);
+        p.mark_output(c);
+        let expected = lapack_gemm(&a_m, &b_m);
+        let check = Box::new(move |w: &World| -> Result<(), String> {
+            let got = w.get(c);
+            let tol = 1e-6 * expected.frobenius_norm().max(1.0);
+            if got.approx_eq(&expected, tol) {
+                Ok(())
+            } else {
+                Err(format!("max abs diff {}", got.max_abs_diff(&expected)))
+            }
+        });
+        Instance { world, plan: p.build(), check }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use petal_core::{Selector, Tunable};
+
+    fn config_with(m: &MachineProfile, b: &Strassen, sel: Selector) -> Config {
+        let mut cfg = b.program(m).default_config(m);
+        cfg.set_selector("matmul", sel);
+        cfg
+    }
+
+    #[test]
+    fn every_choice_multiplies_correctly() {
+        let b = Strassen::new(64);
+        let m = MachineProfile::desktop();
+        for alg in 0..7 {
+            let cfg = config_with(&m, &b, Selector::constant(alg, 7));
+            let r = b.run_with_config(&m, &cfg);
+            assert!(r.is_ok(), "alg {alg}: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn polyalgorithm_recursion_with_cutoff() {
+        // 8-way above 32, LAPACK below: the Fig. 6 Server shape.
+        let b = Strassen::new(128);
+        let m = MachineProfile::server();
+        let cfg = config_with(&m, &b, Selector::new(vec![33], vec![0, 4], 7));
+        b.run_with_config(&m, &cfg).unwrap();
+    }
+
+    #[test]
+    fn odd_sizes_fall_back_to_leaves() {
+        let b = Strassen::new(63);
+        let m = MachineProfile::laptop();
+        let cfg = config_with(&m, &b, Selector::constant(5, 7));
+        b.run_with_config(&m, &cfg).unwrap();
+    }
+
+    /// Fig. 7(e) shape: the GPU data-parallel choice wins on Desktop by a
+    /// large factor; direct LAPACK wins on Laptop.
+    #[test]
+    fn gpu_wins_desktop_lapack_wins_laptop() {
+        let b = Strassen::new(512);
+        let time = |m: &MachineProfile, sel: Selector, ratio: i64| {
+            let mut cfg = config_with(m, &b, sel);
+            cfg.set_tunable("matmul.gpu_ratio", Tunable::new(ratio, 0, 8));
+            b.run_with_config(m, &cfg).unwrap().virtual_time_secs()
+        };
+        let d = MachineProfile::desktop();
+        let gpu_d = time(&d, Selector::constant(6, 7), 8);
+        let lapack_d = time(&d, Selector::constant(0, 7), 8);
+        assert!(gpu_d < lapack_d / 3.0, "desktop GPU {gpu_d} vs LAPACK {lapack_d}");
+        let l = MachineProfile::laptop();
+        let gpu_l = time(&l, Selector::constant(6, 7), 8);
+        let lapack_l = time(&l, Selector::constant(0, 7), 8);
+        assert!(lapack_l < gpu_l, "laptop LAPACK {lapack_l} vs GPU {gpu_l}");
+    }
+
+    #[test]
+    fn strassen_recursion_beats_naive_leaf() {
+        let b = Strassen::new(256);
+        let m = MachineProfile::server();
+        let naive = {
+            let cfg = config_with(&m, &b, Selector::constant(1, 7));
+            b.run_with_config(&m, &cfg).unwrap().virtual_time_secs()
+        };
+        let eight_way = {
+            let cfg = config_with(&m, &b, Selector::new(vec![65], vec![0, 4], 7));
+            b.run_with_config(&m, &cfg).unwrap().virtual_time_secs()
+        };
+        assert!(eight_way < naive, "8-way+LAPACK {eight_way} vs naive {naive}");
+    }
+}

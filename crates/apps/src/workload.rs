@@ -1,0 +1,54 @@
+//! Deterministic workload generators shared by the benchmarks, tests and
+//! figure harnesses.
+
+use petal_blas::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix in `[lo, hi)` with a fixed seed.
+#[must_use]
+pub fn random_matrix(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Uniform random vector in `[lo, hi)`.
+#[must_use]
+pub fn random_vec(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A normalized 1D convolution kernel of width `k` (triangle window).
+#[must_use]
+pub fn triangle_kernel(k: usize) -> Matrix {
+    let mid = (k as f64 - 1.0) / 2.0;
+    let mut weights: Vec<f64> = (0..k).map(|i| 1.0 + mid - (i as f64 - mid).abs()).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    Matrix::from_vec(1, k, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 7));
+        assert_ne!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 8));
+        assert_eq!(random_vec(5, -1.0, 1.0, 3), random_vec(5, -1.0, 1.0, 3));
+    }
+
+    #[test]
+    fn triangle_kernel_is_normalized_and_symmetric() {
+        for k in [3, 5, 7, 17] {
+            let m = triangle_kernel(k);
+            let s: f64 = m.as_slice().iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "k={k}");
+            assert!((m[(0, 0)] - m[(0, k - 1)]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benches mirroring the paper's figures: host time to simulate
+//! one configured run of each benchmark per machine. (The *virtual* times
+//! these runs report are what the `fig*` binaries print; these benches
+//! track the simulator's own cost so regressions in the reproduction
+//! pipeline are caught.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petal_apps::convolution::{ConvMapping, SeparableConvolution};
+use petal_apps::{all_benchmarks, Benchmark};
+use petal_gpu::profile::MachineProfile;
+use std::hint::black_box;
+
+fn bench_fig2_mappings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_conv_mappings");
+    let machine = MachineProfile::desktop();
+    let bench = SeparableConvolution::new(128, 7);
+    for mapping in ConvMapping::all() {
+        let cfg = bench.mapping_config(&machine, mapping);
+        g.bench_function(BenchmarkId::new("desktop", mapping.label()), |bch| {
+            bch.iter(|| black_box(bench.run_with_config(&machine, &cfg).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_default_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_default_runs");
+    g.sample_size(10);
+    for bench in all_benchmarks() {
+        // Shrink to bench-friendly sizes where the benchmark allows it.
+        let small = bench.resized(bench.input_size().min(4096)).unwrap_or(bench);
+        for machine in [MachineProfile::desktop(), MachineProfile::server()] {
+            let cfg = small.program(&machine).default_config(&machine);
+            g.bench_function(
+                BenchmarkId::new(small.name().replace(' ', "_"), &machine.codename),
+                |bch| {
+                    bch.iter(|| black_box(small.run_with_config(&machine, &cfg).unwrap()));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_mappings, bench_fig7_default_runs
+}
+criterion_main!(benches);

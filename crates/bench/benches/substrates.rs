@@ -1,0 +1,92 @@
+//! Criterion benches over the substrate crates: BLAS kernels, tridiagonal
+//! solvers, sort primitives, and the runtime engine's scheduling
+//! throughput. These measure *host* time of the building blocks (the
+//! figure binaries report virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petal_blas::gemm::{blocked_gemm, lapack_gemm, naive_gemm, transposed_gemm};
+use petal_blas::tridiag::{cyclic_reduction_solve, diagonally_dominant_system, thomas_solve};
+use petal_blas::Matrix;
+use petal_gpu::cost::CpuWork;
+use petal_gpu::profile::MachineProfile;
+use petal_rt::{Charge, Engine};
+use std::hint::black_box;
+
+fn sample(n: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17 + seed) % 13) as f64 - 6.0)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    let n = 96;
+    let a = sample(n, 1);
+    let b = sample(n, 2);
+    g.bench_function(BenchmarkId::new("naive", n), |bch| {
+        bch.iter(|| naive_gemm(black_box(&a), black_box(&b)));
+    });
+    g.bench_function(BenchmarkId::new("transposed", n), |bch| {
+        bch.iter(|| transposed_gemm(black_box(&a), black_box(&b)));
+    });
+    g.bench_function(BenchmarkId::new("blocked64", n), |bch| {
+        bch.iter(|| blocked_gemm(black_box(&a), black_box(&b), 64));
+    });
+    g.bench_function(BenchmarkId::new("lapack", n), |bch| {
+        bch.iter(|| lapack_gemm(black_box(&a), black_box(&b)));
+    });
+    g.finish();
+}
+
+fn bench_tridiag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tridiag");
+    for n in [1 << 10, 1 << 14] {
+        let sys = diagonally_dominant_system(n, 3);
+        g.bench_with_input(BenchmarkId::new("thomas", n), &sys, |bch, s| {
+            bch.iter(|| thomas_solve(black_box(s)));
+        });
+        g.bench_with_input(BenchmarkId::new("cyclic_reduction", n), &sys, |bch, s| {
+            bch.iter(|| cyclic_reduction_solve(black_box(s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    // Scheduling throughput: how fast the virtual-time engine retires
+    // dependent task graphs (fan-out/fan-in diamonds).
+    for tasks in [256usize, 2048] {
+        g.bench_function(BenchmarkId::new("diamond", tasks), |bch| {
+            bch.iter(|| {
+                let m = MachineProfile::desktop();
+                let mut e: Engine<u64> = Engine::new(&m, 1);
+                let root = e.add_cpu_task(|s, _| {
+                    *s += 1;
+                    Charge::Work(CpuWork::new(100.0, 0.0))
+                });
+                let join = e.add_cpu_task(|s, _| {
+                    *s += 1;
+                    Charge::Work(CpuWork::new(100.0, 0.0))
+                });
+                for _ in 0..tasks {
+                    let mid = e.add_cpu_task(|s, _| {
+                        *s += 1;
+                        Charge::Work(CpuWork::new(1000.0, 0.0))
+                    });
+                    e.add_dependency(mid, root).unwrap();
+                    e.add_dependency(join, mid).unwrap();
+                }
+                let mut state = 0u64;
+                e.run(&mut state).unwrap();
+                black_box(state)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_tridiag, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Figure 2: execution time of the four OpenCL mappings of
+//! SeparableConvolution (plus the autotuned configuration) over kernel
+//! widths 3..=17, on each of the three machines.
+//!
+//! The paper's claim to reproduce: every mapping is optimal for at least
+//! one (machine, width) point, and the autotuner always matches the best.
+
+use petal_apps::convolution::{ConvMapping, SeparableConvolution};
+use petal_apps::Benchmark;
+use petal_bench::{full_flag, row};
+use petal_gpu::profile::MachineProfile;
+use petal_tuner::{Autotuner, TunerSettings};
+
+fn main() {
+    let n = if full_flag() { 1024 } else { 256 };
+    println!("Figure 2: SeparableConvolution mappings, input {n}x{n} (virtual seconds)\n");
+    let widths = [22, 12, 12, 12, 12, 12];
+    let settings = TunerSettings {
+        seed: 2,
+        trials_per_round: 18,
+        population: 4,
+        size_schedule: vec![0.25, 1.0],
+        small_size_trial_fraction: 0.5,
+        model_process_restarts: false,
+    };
+    for machine in MachineProfile::all() {
+        println!("--- {} ---", machine.codename);
+        let mut header = vec!["Kernel width".to_owned()];
+        header.extend(ConvMapping::all().iter().map(|m| m.label().to_owned()));
+        header.push("Autotuner".to_owned());
+        println!("{}", row(&header, &widths));
+        for k in (3..=17).step_by(2) {
+            let bench = SeparableConvolution::new(n, k);
+            let mut cells = vec![k.to_string()];
+            let mut best_pinned = f64::INFINITY;
+            for mapping in ConvMapping::all() {
+                let cfg = bench.mapping_config(&machine, mapping);
+                let t = bench
+                    .run_with_config(&machine, &cfg)
+                    .expect("mapping runs")
+                    .virtual_time_secs();
+                best_pinned = best_pinned.min(t);
+                cells.push(format!("{t:.6}"));
+            }
+            let tuned = Autotuner::new(&bench, &machine, settings.clone()).run();
+            cells.push(format!("{:.6}", tuned.time_secs));
+            println!("{}", row(&cells, &widths));
+            assert!(
+                tuned.time_secs <= best_pinned * 1.05,
+                "autotuner should match the best pinned mapping"
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 6: the table of autotuned configurations per
+//! benchmark per machine, summarized as poly-algorithm descriptions.
+
+use petal_bench::{full_flag, harness_benchmarks, tune};
+use petal_gpu::profile::MachineProfile;
+use petal_tuner::describe_config;
+
+fn main() {
+    println!("Figure 6: autotuned configurations (summary of primary differences)\n");
+    for bench in harness_benchmarks(full_flag()) {
+        println!("=== {} ===", bench.name());
+        for machine in MachineProfile::all() {
+            let tuned = tune(&*bench, &machine);
+            println!(
+                "{:8} ({:.5}s): {}",
+                machine.codename,
+                tuned.time_secs,
+                describe_config(&tuned.config)
+            );
+        }
+        println!();
+    }
+}

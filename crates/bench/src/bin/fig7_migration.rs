@@ -1,0 +1,117 @@
+//! Regenerates Figure 7(a–g): configuration migration between machines.
+//!
+//! For every benchmark, autotune on each of the three machines; then run
+//! all three tuned configurations on all three machines, normalizing to
+//! the natively tuned configuration (1.0x = tuned in place; higher is
+//! worse). Baselines from the paper are included where applicable:
+//! CPU-only (Black-Scholes, Poisson), GPU-only bitonic (Sort), and
+//! hand-coded OpenCL (Convolution, Strassen).
+//!
+//! Usage: `fig7_migration [benchmark-substring] [--full]`
+
+use petal_apps::Benchmark;
+use petal_bench::{baselines, full_flag, harness_benchmarks, row, tune};
+use petal_core::Config;
+use petal_gpu::profile::MachineProfile;
+
+fn time_on(bench: &dyn Benchmark, machine: &MachineProfile, cfg: &Config) -> Option<f64> {
+    bench.run_with_config(machine, cfg).ok().map(|r| r.virtual_time_secs())
+}
+
+fn main() {
+    let filter: Option<String> = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--full")
+        .map(|s| s.to_lowercase());
+    let machines = MachineProfile::all();
+    let widths = [22, 12, 12, 12];
+
+    for bench in harness_benchmarks(full_flag()) {
+        if let Some(f) = &filter {
+            if !bench.name().to_lowercase().contains(f) {
+                continue;
+            }
+        }
+        println!("=== Figure 7: {} ===", bench.name());
+        // Tune natively on each machine.
+        let tuned: Vec<_> = machines.iter().map(|m| tune(&*bench, m)).collect();
+        let native: Vec<f64> = tuned.iter().map(|t| t.time_secs).collect();
+
+        let mut header = vec!["Config \\ Machine".to_owned()];
+        header.extend(machines.iter().map(|m| m.codename.clone()));
+        println!("{}", row(&header, &widths));
+        for (ci, cm) in machines.iter().enumerate() {
+            let mut cells = vec![format!("{} Config", cm.codename)];
+            for (mi, m) in machines.iter().enumerate() {
+                let cell = match time_on(&*bench, m, &tuned[ci].config) {
+                    Some(t) => format!("{:.2}x", t / native[mi]),
+                    None => "n/a".to_owned(),
+                };
+                cells.push(cell);
+            }
+            println!("{}", row(&cells, &widths));
+        }
+        // Baselines.
+        let mut baseline_rows: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+        match bench.name() {
+            "Black-Scholes" | "Poisson2D SOR" => {
+                let times = machines
+                    .iter()
+                    .map(|m| time_on(&*bench, m, &baselines::cpu_only(&*bench, m)))
+                    .collect();
+                baseline_rows.push(("CPU-only Config".into(), times));
+            }
+            "Sort" => {
+                let times = machines
+                    .iter()
+                    .map(|m| {
+                        baselines::gpu_bitonic_sort(&*bench, m)
+                            .and_then(|cfg| time_on(&*bench, m, &cfg))
+                    })
+                    .collect();
+                baseline_rows.push(("GPU-only Config".into(), times));
+            }
+            "Strassen" => {
+                let times = machines
+                    .iter()
+                    .map(|m| {
+                        baselines::handcoded_matmul(&*bench, m)
+                            .and_then(|cfg| time_on(&*bench, m, &cfg))
+                    })
+                    .collect();
+                baseline_rows.push(("Hand-coded OpenCL".into(), times));
+            }
+            "SeparableConvolution" => {
+                let conv = petal_apps::convolution::SeparableConvolution::new(
+                    if full_flag() { 3520 } else { 256 },
+                    7,
+                );
+                let times = machines
+                    .iter()
+                    .map(|m| {
+                        baselines::handcoded_convolution(&conv, m)
+                            .and_then(|cfg| time_on(&conv, m, &cfg))
+                    })
+                    .collect();
+                baseline_rows.push(("Hand-coded OpenCL".into(), times));
+            }
+            _ => {}
+        }
+        for (label, times) in baseline_rows {
+            let mut cells = vec![label];
+            for (mi, t) in times.iter().enumerate() {
+                cells.push(t.map_or("n/a".into(), |t| format!("{:.2}x", t / native[mi])));
+            }
+            println!("{}", row(&cells, &widths));
+        }
+        println!(
+            "native tuned times: {}\n",
+            machines
+                .iter()
+                .zip(&native)
+                .map(|(m, t)| format!("{}={t:.5}s", m.codename))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+}

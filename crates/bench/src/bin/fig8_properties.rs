@@ -1,0 +1,43 @@
+//! Regenerates Figure 8: properties of the benchmarks — configuration
+//! space size, generated OpenCL kernels, autotuning time, testing input
+//! size.
+
+use petal_bench::{full_flag, harness_benchmarks, row, tune};
+use petal_gpu::profile::MachineProfile;
+
+fn main() {
+    let machine = MachineProfile::desktop();
+    println!("Figure 8: benchmark properties (autotuning on Desktop)\n");
+    let widths = [22, 18, 16, 20, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "Name".to_owned(),
+                "# PossibleConfigs".to_owned(),
+                "OpenCL Kernels".to_owned(),
+                "Autotuning Time".to_owned(),
+                "Input Size".to_owned(),
+            ],
+            &widths
+        )
+    );
+    for bench in harness_benchmarks(full_flag()) {
+        let program = bench.program(&machine);
+        let tuned = tune(&*bench, &machine);
+        println!(
+            "{}",
+            row(
+                &[
+                    bench.name().to_owned(),
+                    format!("10^{:.0}", program.log10_config_space(&machine, bench.input_size())),
+                    program.generated_kernels().to_string(),
+                    format!("{:.1} virt-min", tuned.stats.tuning_secs / 60.0),
+                    bench.input_size().to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\n(Autotuning time is virtual: execution + per-trial kernel re-JIT, as in §5.4.)");
+}

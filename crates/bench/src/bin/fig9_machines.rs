@@ -1,0 +1,33 @@
+//! Regenerates Figure 9: the table of representative test systems.
+
+use petal_bench::row;
+use petal_gpu::profile::MachineProfile;
+
+fn main() {
+    println!("Figure 9: properties of the representative test systems\n");
+    let widths = [9, 26, 6, 26, 22, 28];
+    println!(
+        "{}",
+        row(
+            &["Codename", "CPU(s)", "Cores", "GPU", "OS", "OpenCL Runtime"]
+                .map(String::from),
+            &widths
+        )
+    );
+    for m in MachineProfile::all() {
+        println!(
+            "{}",
+            row(
+                &[
+                    m.codename.clone(),
+                    m.cpu.name.clone(),
+                    m.cpu.cores.to_string(),
+                    m.gpu.as_ref().map_or_else(|| "None".into(), |g| g.name.clone()),
+                    m.os.clone(),
+                    m.opencl_runtime.clone(),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! # petal-bench — harness regenerating every figure and table of §6
+//!
+//! Each `fig*` binary reproduces one artifact of the paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2_convolution` | Fig. 2 — convolution mapping sweep over kernel widths |
+//! | `fig6_configs` | Fig. 6 — autotuned configuration table |
+//! | `fig7_migration` | Fig. 7(a–g) — configuration-migration matrices + baselines |
+//! | `fig8_properties` | Fig. 8 — benchmark properties table |
+//! | `fig9_machines` | Fig. 9 — test-system table |
+//! | `ablation_ircache` | §5.4 — IR-cache / small-input-trial tuning-time ablation |
+//!
+//! Sizes default to reduced values so each binary finishes in seconds of
+//! host time (the *virtual* times reported are what the paper's axes
+//! correspond to); pass `--full` for the paper's input sizes.
+
+use petal_apps::Benchmark;
+use petal_gpu::profile::MachineProfile;
+use petal_tuner::{Autotuner, Tuned, TunerSettings};
+
+pub mod baselines;
+
+/// Standard benchmark set at harness sizes.
+#[must_use]
+pub fn harness_benchmarks(full: bool) -> Vec<Box<dyn Benchmark>> {
+    use petal_apps::*;
+    if full {
+        vec![
+            Box::new(blackscholes::BlackScholes::new(500_000)),
+            Box::new(poisson::Poisson2D::new(2048, 8)),
+            Box::new(convolution::SeparableConvolution::new(3520, 7)),
+            Box::new(sort::Sort::new(1 << 20)),
+            Box::new(strassen::Strassen::new(1024)),
+            Box::new(svd::Svd::new(256, 0.15)),
+            Box::new(tridiagonal::Tridiagonal::new(1 << 20)),
+        ]
+    } else {
+        petal_apps::all_benchmarks()
+    }
+}
+
+/// `--full` flag shared by the harness binaries.
+#[must_use]
+pub fn full_flag() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Tuner settings used by the harnesses (slightly larger than smoke).
+#[must_use]
+pub fn harness_tuner_settings() -> TunerSettings {
+    TunerSettings {
+        seed: 0xf1675,
+        trials_per_round: 40,
+        population: 5,
+        size_schedule: vec![1.0 / 16.0, 1.0 / 4.0, 1.0],
+        small_size_trial_fraction: 0.5,
+        model_process_restarts: true,
+    }
+}
+
+/// Autotune `bench` for `machine` with harness settings.
+#[must_use]
+pub fn tune(bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
+    Autotuner::new(bench, machine, harness_tuner_settings()).run()
+}
+
+/// Render a simple fixed-width table row.
+#[must_use]
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{c:<w$} ", w = w));
+    }
+    out.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_benchmark_set_is_complete() {
+        let names: Vec<String> =
+            harness_benchmarks(false).iter().map(|b| b.name().to_owned()).collect();
+        for expected in [
+            "Black-Scholes",
+            "Poisson2D SOR",
+            "SeparableConvolution",
+            "Sort",
+            "Strassen",
+            "SVD",
+            "Tridiagonal Solver",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[4, 4]);
+        assert_eq!(r, "a    bb");
+    }
+}

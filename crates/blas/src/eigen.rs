@@ -1,0 +1,215 @@
+//! Symmetric eigendecomposition and truncated SVD.
+//!
+//! The paper's SVD benchmark "approximates a matrix through a factorization
+//! that consumes less space" and is a *variable accuracy* benchmark: the
+//! number of retained singular values trades quality for time (§6.2, [4]).
+//! These are the numerical kernels; the CPU/GPU task-parallel orchestration
+//! is `petal-apps::svd`.
+
+use crate::gemm::lapack_gemm;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns*, in the same order.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Sweeps Givens rotations over every off-diagonal pair until convergence
+/// (off-diagonal Frobenius mass below `tol`) or `max_sweeps` is exhausted.
+///
+/// # Panics
+/// Panics if `a` is not square.
+#[must_use]
+pub fn jacobi_eigh(a: &Matrix, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "symmetric eigendecomposition needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < f64::EPSILON {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by eigenvalue, descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    let values = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    EigenDecomposition { values, vectors }
+}
+
+/// A rank-`k` truncated singular value decomposition `A ≈ U·diag(σ)·Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedSvd {
+    /// Left singular vectors as columns (`m × k`).
+    pub u: Matrix,
+    /// Singular values, descending (`k`).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors as columns (`n × k`).
+    pub v: Matrix,
+}
+
+impl TruncatedSvd {
+    /// Reconstruct the rank-`k` approximation `U·diag(σ)·Vᵀ`.
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.sigma.len();
+        let us = Matrix::from_fn(self.u.rows(), k, |r, c| self.u[(r, c)] * self.sigma[c]);
+        lapack_gemm(&us, &self.v.transposed())
+    }
+
+    /// Relative Frobenius error of the approximation against `a`.
+    #[must_use]
+    pub fn relative_error(&self, a: &Matrix) -> f64 {
+        let denom = a.frobenius_norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        a.sub(&self.reconstruct()).frobenius_norm() / denom
+    }
+}
+
+/// Truncated SVD via the eigendecomposition of `AᵀA`.
+///
+/// `σᵢ = √λᵢ(AᵀA)`, `vᵢ` its eigenvectors, `uᵢ = A·vᵢ/σᵢ`. This is the
+/// classic normal-equations route; adequate for the benchmark's
+/// well-conditioned synthetic inputs.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds `min(m, n)`.
+#[must_use]
+pub fn truncated_svd(a: &Matrix, k: usize, gemm: impl Fn(&Matrix, &Matrix) -> Matrix) -> TruncatedSvd {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(k >= 1 && k <= m.min(n), "rank k={k} out of range for {m}x{n}");
+    let ata = gemm(&a.transposed(), a);
+    let eig = jacobi_eigh(&ata, 1e-12 * ata.frobenius_norm().max(1.0), 64);
+    let sigma: Vec<f64> = eig.values.iter().take(k).map(|l| l.max(0.0).sqrt()).collect();
+    let vk = Matrix::from_fn(n, k, |r, c| eig.vectors[(r, c)]);
+    let avk = gemm(a, &vk);
+    let u = Matrix::from_fn(m, k, |r, c| {
+        if sigma[c] > 1e-300 {
+            avk[(r, c)] / sigma[c]
+        } else {
+            0.0
+        }
+    });
+    TruncatedSvd { u, sigma, v: vk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric(n: usize, seed: usize) -> Matrix {
+        let raw = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17 + seed) % 13) as f64 - 6.0);
+        raw.add(&raw.transposed()).scaled(0.5)
+    }
+
+    #[test]
+    fn eigh_reconstructs_diagonal_matrix() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { (3 - r) as f64 } else { 0.0 });
+        let e = jacobi_eigh(&a, 1e-14, 32);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigh_satisfies_a_v_eq_v_lambda() {
+        let a = symmetric(8, 5);
+        let e = jacobi_eigh(&a, 1e-12, 64);
+        let av = lapack_gemm(&a, &e.vectors);
+        let vl = Matrix::from_fn(8, 8, |r, c| e.vectors[(r, c)] * e.values[c]);
+        assert!(av.approx_eq(&vl, 1e-7), "max diff {}", av.max_abs_diff(&vl));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = symmetric(6, 9);
+        let e = jacobi_eigh(&a, 1e-12, 64);
+        let vtv = lapack_gemm(&e.vectors.transposed(), &e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn full_rank_svd_reconstructs_exactly() {
+        let a = Matrix::from_fn(6, 4, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        let svd = truncated_svd(&a, 4, lapack_gemm);
+        assert!(svd.relative_error(&a) < 1e-7, "err {}", svd.relative_error(&a));
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_rank() {
+        let a = Matrix::from_fn(12, 12, |r, c| 1.0 / (1.0 + (r + c) as f64));
+        let mut prev = f64::INFINITY;
+        for k in [1, 2, 4, 8, 12] {
+            let err = truncated_svd(&a, k, lapack_gemm).relative_error(&a);
+            assert!(err <= prev + 1e-12, "error must not grow with rank: k={k}");
+            prev = err;
+        }
+        assert!(prev < 1e-6, "full rank must reconstruct");
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let a = Matrix::from_fn(9, 7, |r, c| ((r * 11 + c * 4) % 9) as f64 - 4.0);
+        let svd = truncated_svd(&a, 5, lapack_gemm);
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_rank_panics() {
+        let a = Matrix::zeros(3, 3);
+        let _ = truncated_svd(&a, 4, lapack_gemm);
+    }
+}

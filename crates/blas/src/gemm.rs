@@ -1,0 +1,167 @@
+//! Dense matrix multiplication kernels.
+//!
+//! The Strassen benchmark's choice space includes "various blocking
+//! methods; naive matrix multiplication; and calling the LAPACK external
+//! library" (§6.2). These are those leaves. [`lapack_gemm`] — a transposed,
+//! cache-blocked kernel — is the stand-in for the LAPACK call: an opaque,
+//! well-optimized library leaf.
+
+use crate::matrix::Matrix;
+
+/// Textbook triple loop: `C = A·B`.
+///
+/// # Panics
+/// Panics when inner dimensions disagree.
+#[must_use]
+pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Triple loop over a pre-transposed `B`, giving unit-stride inner loops
+/// (one of the benchmark's "transposing any combination of the inputs"
+/// choices).
+///
+/// # Panics
+/// Panics when inner dimensions disagree.
+#[must_use]
+pub fn transposed_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let bt = b.transposed();
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = bt.row(j);
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-blocked multiplication with block size `bs`.
+///
+/// # Panics
+/// Panics when inner dimensions disagree or `bs == 0`.
+#[must_use]
+pub fn blocked_gemm(a: &Matrix, b: &Matrix, bs: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(bs > 0, "block size must be positive");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for ii in (0..m).step_by(bs) {
+        for pp in (0..k).step_by(bs) {
+            for jj in (0..n).step_by(bs) {
+                for i in ii..(ii + bs).min(m) {
+                    for p in pp..(pp + bs).min(k) {
+                        let aip = a[(i, p)];
+                        for j in jj..(jj + bs).min(n) {
+                            c[(i, j)] += aip * b[(p, j)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// The "LAPACK" leaf: the best-performing plain kernel we have (transposed
+/// access with 64-wide blocking). The choice space treats it as an opaque
+/// external library call, exactly as the paper treats LAPACK.
+///
+/// # Panics
+/// Panics when inner dimensions disagree.
+#[must_use]
+pub fn lapack_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    if a.rows().min(a.cols()).min(b.cols()) < 64 {
+        transposed_gemm(a, b)
+    } else {
+        blocked_gemm(a, b, 64)
+    }
+}
+
+/// Flops for an `m×k · k×n` multiplication (one multiply + one add per
+/// inner-loop step); used by the cost model.
+#[must_use]
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(r: usize, c: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 7 + j * 13 + seed) % 10) as f64 - 4.5)
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample(5, 5, 3);
+        let i = Matrix::identity(5);
+        assert!(naive_gemm(&a, &i).approx_eq(&a, 1e-12));
+        assert!(naive_gemm(&i, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn all_kernels_agree_on_rectangular_inputs() {
+        let a = sample(7, 13, 1);
+        let b = sample(13, 5, 2);
+        let reference = naive_gemm(&a, &b);
+        assert!(transposed_gemm(&a, &b).approx_eq(&reference, 1e-9));
+        assert!(blocked_gemm(&a, &b, 4).approx_eq(&reference, 1e-9));
+        assert!(blocked_gemm(&a, &b, 64).approx_eq(&reference, 1e-9));
+        assert!(lapack_gemm(&a, &b).approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn gemm_flops_counts_mul_add() {
+        assert_eq!(gemm_flops(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let _ = naive_gemm(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_blocked_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12,
+                                      bs in 1usize..8, seed in 0usize..100) {
+            let a = sample(m, k, seed);
+            let b = sample(k, n, seed + 1);
+            prop_assert!(blocked_gemm(&a, &b, bs).approx_eq(&naive_gemm(&a, &b), 1e-9));
+        }
+
+        #[test]
+        fn prop_distributes_over_addition(n in 1usize..8, seed in 0usize..50) {
+            // A·(B + C) == A·B + A·C
+            let a = sample(n, n, seed);
+            let b = sample(n, n, seed + 1);
+            let c = sample(n, n, seed + 2);
+            let lhs = lapack_gemm(&a, &b.add(&c));
+            let rhs = lapack_gemm(&a, &b).add(&lapack_gemm(&a, &c));
+            prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+        }
+    }
+}

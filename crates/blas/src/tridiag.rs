@@ -1,0 +1,241 @@
+//! Tridiagonal system solvers.
+//!
+//! The Tridiagonal Solver benchmark (§6.2) chooses between a sequential
+//! direct solve and cyclic reduction ("cyclic reduction is the best
+//! algorithm for Desktop when using the GPU; if a machine does not use
+//! OpenCL, it is better to run the sequential algorithm"). This module
+//! provides the numerical kernels; the parallel/GPU orchestration lives in
+//! `petal-apps`.
+
+/// A tridiagonal system `A·x = d` with sub-diagonal `a` (first element
+/// unused), diagonal `b`, and super-diagonal `c` (last element unused).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TridiagonalSystem {
+    /// Sub-diagonal, `a[0]` ignored.
+    pub a: Vec<f64>,
+    /// Main diagonal.
+    pub b: Vec<f64>,
+    /// Super-diagonal, `c[n-1]` ignored.
+    pub c: Vec<f64>,
+    /// Right-hand side.
+    pub d: Vec<f64>,
+}
+
+impl TridiagonalSystem {
+    /// Validate and wrap the four bands.
+    ///
+    /// # Panics
+    /// Panics when the bands have different lengths or are empty.
+    #[must_use]
+    pub fn new(a: Vec<f64>, b: Vec<f64>, c: Vec<f64>, d: Vec<f64>) -> Self {
+        let n = b.len();
+        assert!(n > 0, "empty system");
+        assert!(
+            a.len() == n && c.len() == n && d.len() == n,
+            "all bands must have equal length"
+        );
+        TridiagonalSystem { a, b, c, d }
+    }
+
+    /// Dimension of the system.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// True when the system has no equations (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.b.is_empty()
+    }
+
+    /// `‖A·x − d‖∞`, for verifying solutions.
+    #[must_use]
+    pub fn residual(&self, x: &[f64]) -> f64 {
+        let n = self.len();
+        assert_eq!(x.len(), n, "solution length mismatch");
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut lhs = self.b[i] * x[i];
+            if i > 0 {
+                lhs += self.a[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                lhs += self.c[i] * x[i + 1];
+            }
+            worst = worst.max((lhs - self.d[i]).abs());
+        }
+        worst
+    }
+}
+
+/// Sequential direct solve (Thomas algorithm), `O(n)` with a loop-carried
+/// dependency — fast on one CPU core, unusable on a data-parallel device.
+///
+/// # Panics
+/// Panics if forward elimination hits a zero pivot (the system must be
+/// diagonally dominant or otherwise non-singular).
+#[must_use]
+pub fn thomas_solve(sys: &TridiagonalSystem) -> Vec<f64> {
+    let n = sys.len();
+    let mut c_star = vec![0.0; n];
+    let mut d_star = vec![0.0; n];
+    assert!(sys.b[0] != 0.0, "zero pivot at row 0");
+    c_star[0] = sys.c[0] / sys.b[0];
+    d_star[0] = sys.d[0] / sys.b[0];
+    for i in 1..n {
+        let m = sys.b[i] - sys.a[i] * c_star[i - 1];
+        assert!(m != 0.0, "zero pivot at row {i}");
+        c_star[i] = sys.c[i] / m;
+        d_star[i] = (sys.d[i] - sys.a[i] * d_star[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d_star[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d_star[i] - c_star[i] * x[i + 1];
+    }
+    x
+}
+
+/// One forward-reduction step of cyclic reduction: eliminate odd-indexed
+/// unknowns, producing the half-size system over even indices.
+///
+/// Exposed separately so `petal-apps` can express each step as one
+/// data-parallel kernel launch (this is what runs on the GPU).
+#[must_use]
+pub fn cyclic_reduction_step(sys: &TridiagonalSystem) -> TridiagonalSystem {
+    let n = sys.len();
+    let m = n.div_ceil(2);
+    let mut na = vec![0.0; m];
+    let mut nb = vec![0.0; m];
+    let mut nc = vec![0.0; m];
+    let mut nd = vec![0.0; m];
+    for (j, i) in (0..n).step_by(2).enumerate() {
+        // alpha eliminates x[i-1] via row i-1, beta eliminates x[i+1] via row i+1.
+        let alpha = if i > 0 { -sys.a[i] / sys.b[i - 1] } else { 0.0 };
+        let beta = if i + 1 < n { -sys.c[i] / sys.b[i + 1] } else { 0.0 };
+        nb[j] = sys.b[i]
+            + alpha * sys.c[i - usize::from(i > 0)] * f64::from(u8::from(i > 0))
+            + beta * sys.a[(i + 1).min(n - 1)] * f64::from(u8::from(i + 1 < n));
+        na[j] = if i > 0 { alpha * sys.a[i - 1] } else { 0.0 };
+        nc[j] = if i + 1 < n { beta * sys.c[i + 1] } else { 0.0 };
+        nd[j] = sys.d[i]
+            + if i > 0 { alpha * sys.d[i - 1] } else { 0.0 }
+            + if i + 1 < n { beta * sys.d[i + 1] } else { 0.0 };
+    }
+    TridiagonalSystem { a: na, b: nb, c: nc, d: nd }
+}
+
+/// Back-substitute one level: given the solution of the even-index system,
+/// recover the full solution.
+#[must_use]
+pub fn cyclic_reduction_backsub(sys: &TridiagonalSystem, even: &[f64]) -> Vec<f64> {
+    let n = sys.len();
+    let mut x = vec![0.0; n];
+    for (j, i) in (0..n).step_by(2).enumerate() {
+        x[i] = even[j];
+    }
+    for i in (1..n).step_by(2) {
+        let left = sys.a[i] * x[i - 1];
+        let right = if i + 1 < n { sys.c[i] * x[i + 1] } else { 0.0 };
+        x[i] = (sys.d[i] - left - right) / sys.b[i];
+    }
+    x
+}
+
+/// Full cyclic reduction solve: recursively halve until one unknown
+/// remains, then back-substitute. `O(n)` work over `O(log n)` parallel
+/// steps — asymptotically more work than Thomas, but every step is data
+/// parallel.
+#[must_use]
+pub fn cyclic_reduction_solve(sys: &TridiagonalSystem) -> Vec<f64> {
+    if sys.len() == 1 {
+        return vec![sys.d[0] / sys.b[0]];
+    }
+    let reduced = cyclic_reduction_step(sys);
+    let even = cyclic_reduction_solve(&reduced);
+    cyclic_reduction_backsub(sys, &even)
+}
+
+/// A diagonally dominant test system with deterministic pseudo-random
+/// bands — used by tests, benchmarks and workload generators.
+#[must_use]
+pub fn diagonally_dominant_system(n: usize, seed: u64) -> TridiagonalSystem {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 1000.0 - 0.5
+    };
+    let a: Vec<f64> = (0..n).map(|_| next()).collect();
+    let c: Vec<f64> = (0..n).map(|_| next()).collect();
+    let b: Vec<f64> = (0..n).map(|i| 2.5 + a[i].abs() + c[i].abs() + next().abs()).collect();
+    let d: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+    TridiagonalSystem::new(a, b, c, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn thomas_solves_small_known_system() {
+        // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3]
+        let sys = TridiagonalSystem::new(
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+            vec![4.0, 8.0, 8.0],
+        );
+        let x = thomas_solve(&sys);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+        assert!(sys.residual(&x) < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_thomas() {
+        for n in [1, 2, 3, 7, 64, 100, 255] {
+            let sys = diagonally_dominant_system(n, 42);
+            let xt = thomas_solve(&sys);
+            let xc = cyclic_reduction_solve(&sys);
+            for (t, c) in xt.iter().zip(&xc) {
+                assert!((t - c).abs() < 1e-8, "n={n}: {t} vs {c}");
+            }
+            assert!(sys.residual(&xc) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduction_step_halves_and_preserves_solution() {
+        let sys = diagonally_dominant_system(16, 7);
+        let full = thomas_solve(&sys);
+        let reduced = cyclic_reduction_step(&sys);
+        assert_eq!(reduced.len(), 8);
+        let even = thomas_solve(&reduced);
+        for (j, i) in (0..16).step_by(2).enumerate() {
+            assert!((even[j] - full[i]).abs() < 1e-9, "even unknown {i}");
+        }
+        let rebuilt = cyclic_reduction_backsub(&sys, &even);
+        assert!(sys.residual(&rebuilt) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_bands_panic() {
+        let _ = TridiagonalSystem::new(vec![0.0], vec![1.0, 1.0], vec![0.0], vec![1.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_both_solvers_satisfy_system(n in 1usize..200, seed in 0u64..500) {
+            let sys = diagonally_dominant_system(n, seed);
+            prop_assert!(sys.residual(&thomas_solve(&sys)) < 1e-7);
+            prop_assert!(sys.residual(&cyclic_reduction_solve(&sys)) < 1e-7);
+        }
+    }
+}

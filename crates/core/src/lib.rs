@@ -1,0 +1,94 @@
+//! # petal-core — algorithmic choice, compilation and heterogeneous execution
+//!
+//! The paper's primary contribution, reimplemented in Rust:
+//!
+//! * [`stencil`] — data-parallel rules with declared access patterns, and
+//!   the static analyses of §3.1: OpenCL mappability (phase 1/2) and the
+//!   bounding-box test that gates the scratchpad variant (phase 3).
+//! * [`codegen`] — OpenCL C source generation for both kernel variants
+//!   (including the synthesized cooperative-load phase), cost descriptors,
+//!   and functional kernel bodies.
+//! * [`plan`] — schedules (one per choice assignment) and the data-movement
+//!   analysis of §3.2 (*must copy-out* / *reused* / *may copy-out*).
+//! * [`executor`] — lowers plans onto the hybrid workstealing/work-pushing
+//!   runtime of [`petal_rt`], emitting the four GPU task classes of §4.2
+//!   with copy-in deduplication and eager/lazy/no copy-out.
+//! * [`config`] — selectors (`SELECT` of §5.1) and tunables; the autotuner's
+//!   genome.
+//! * [`program`] — transform metadata, choice dependency graph, and
+//!   search-space accounting (Fig. 8).
+//! * [`data`] — the host matrix store with versions and deferred copy-outs.
+//!
+//! See `petal-apps` for the seven paper benchmarks built on this API and
+//! `petal-tuner` for the evolutionary autotuner.
+
+pub mod codegen;
+pub mod config;
+pub mod data;
+pub mod executor;
+pub mod plan;
+pub mod program;
+pub mod stencil;
+
+pub use config::{Config, Selector, Tunable};
+pub use data::{MatrixId, World};
+pub use executor::{ExecReport, Executor};
+pub use plan::{Placement, Plan, PlanBuilder};
+pub use program::{ChoiceSite, Program};
+pub use stencil::{AccessPattern, StencilRule};
+
+use std::fmt;
+
+/// Top-level error type for plan execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Runtime scheduling failure.
+    Rt(petal_rt::RtError),
+    /// Device failure.
+    Gpu(petal_gpu::GpuError),
+    /// Configuration file parse failure.
+    Config(config::ParseConfigError),
+    /// A plan/machine/config combination that cannot execute.
+    Validation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rt(e) => write!(f, "runtime: {e}"),
+            Error::Gpu(e) => write!(f, "device: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Validation(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rt(e) => Some(e),
+            Error::Gpu(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Validation(_) => None,
+        }
+    }
+}
+
+impl From<petal_rt::RtError> for Error {
+    fn from(e: petal_rt::RtError) -> Self {
+        Error::Rt(e)
+    }
+}
+
+impl From<petal_gpu::GpuError> for Error {
+    fn from(e: petal_gpu::GpuError) -> Self {
+        Error::Gpu(e)
+    }
+}
+
+impl From<config::ParseConfigError> for Error {
+    fn from(e: config::ParseConfigError) -> Self {
+        Error::Config(e)
+    }
+}

@@ -1,0 +1,136 @@
+//! Tiny OpenCL C source builder.
+//!
+//! `petal-core`'s code generator emits real OpenCL C text for every
+//! synthesized kernel (both the global-memory and the local-memory
+//! variants). The text is what the compile cache hashes, what golden tests
+//! pin, and what a user would inspect to audit the generated code. This
+//! module provides the low-level string assembly.
+
+use std::fmt::Write as _;
+
+/// Indentation-aware OpenCL C source writer.
+#[derive(Debug, Default, Clone)]
+pub struct SourceBuilder {
+    out: String,
+    indent: usize,
+}
+
+impl SourceBuilder {
+    /// Fresh builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one line at the current indentation.
+    pub fn line(&mut self, text: &str) -> &mut Self {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+        self
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Open a block: emits `header {` and indents.
+    pub fn open(&mut self, header: &str) -> &mut Self {
+        self.line(&format!("{header} {{"));
+        self.indent += 1;
+        self
+    }
+
+    /// Close a block: dedents and emits `}`.
+    ///
+    /// # Panics
+    /// Panics if there is no open block.
+    pub fn close(&mut self) -> &mut Self {
+        assert!(self.indent > 0, "close() without matching open()");
+        self.indent -= 1;
+        self.line("}")
+    }
+
+    /// Finish and return the assembled source.
+    ///
+    /// # Panics
+    /// Panics if blocks remain open.
+    #[must_use]
+    pub fn build(self) -> String {
+        assert_eq!(self.indent, 0, "unclosed block in generated source");
+        self.out
+    }
+}
+
+/// Render a `__kernel` function signature.
+///
+/// `buffers` are `(qualifier, name)` pairs — e.g. `("__global const double*",
+/// "in")` — and `scalars` are plain `int`/`double` parameter names.
+#[must_use]
+pub fn kernel_signature(name: &str, buffers: &[(&str, &str)], scalars: &[(&str, &str)]) -> String {
+    let mut sig = String::new();
+    let _ = write!(sig, "__kernel void {name}(");
+    let mut first = true;
+    for (qual, pname) in buffers {
+        if !first {
+            sig.push_str(", ");
+        }
+        let _ = write!(sig, "{qual} {pname}");
+        first = false;
+    }
+    for (ty, pname) in scalars {
+        if !first {
+            sig.push_str(", ");
+        }
+        let _ = write!(sig, "{ty} {pname}");
+        first = false;
+    }
+    sig.push(')');
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_nested_blocks() {
+        let mut b = SourceBuilder::new();
+        b.open("__kernel void f(__global double* x)");
+        b.line("int i = get_global_id(0);");
+        b.open("if (i < 4)");
+        b.line("x[i] *= 2.0;");
+        b.close();
+        b.close();
+        let src = b.build();
+        assert!(src.contains("__kernel void f(__global double* x) {"));
+        assert!(src.contains("    int i = get_global_id(0);"));
+        assert!(src.contains("        x[i] *= 2.0;"));
+        assert!(src.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed block")]
+    fn unclosed_block_panics_on_build() {
+        let mut b = SourceBuilder::new();
+        b.open("if (1)");
+        let _ = b.build();
+    }
+
+    #[test]
+    fn signature_rendering() {
+        let sig = kernel_signature(
+            "convolve_rows",
+            &[("__global const double*", "in"), ("__global double*", "out")],
+            &[("int", "w"), ("int", "kwidth")],
+        );
+        assert_eq!(
+            sig,
+            "__kernel void convolve_rows(__global const double* in, __global double* out, int w, int kwidth)"
+        );
+    }
+}

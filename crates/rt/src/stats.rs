@@ -1,0 +1,69 @@
+//! Run statistics reported by the engine.
+
+use petal_gpu::device::DeviceStats;
+
+/// Everything measured during one engine run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Virtual time at which the last task completed (the result the
+    /// autotuner minimizes).
+    pub makespan: f64,
+    /// Busy virtual seconds per CPU worker.
+    pub worker_busy: Vec<f64>,
+    /// CPU tasks executed.
+    pub cpu_tasks: usize,
+    /// GPU tasks executed (all four classes, excluding re-queued polls).
+    pub gpu_tasks: usize,
+    /// Successful steals.
+    pub steals: usize,
+    /// Steal attempts (successful + failed).
+    pub steal_attempts: usize,
+    /// Copy-in tasks short-circuited by the device residency table (§4.3).
+    pub copy_in_dedup_hits: usize,
+    /// Copy-out polls that found the read still in flight and re-queued.
+    pub copy_out_requeues: usize,
+    /// Device activity during this run (zeroed if the machine has no GPU).
+    pub device: DeviceStats,
+    /// Device busy virtual seconds.
+    pub device_busy: f64,
+}
+
+impl RunReport {
+    /// Aggregate CPU utilization in `[0, 1]`: busy worker-seconds over
+    /// `workers × makespan`.
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.worker_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy.iter().sum();
+        busy / (self.makespan * self.worker_busy.len() as f64)
+    }
+
+    /// Device utilization in `[0, 1]`.
+    #[must_use]
+    pub fn device_utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (self.device_busy / self.makespan).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let r = RunReport {
+            makespan: 2.0,
+            worker_busy: vec![1.0, 2.0],
+            device_busy: 1.0,
+            ..RunReport::default()
+        };
+        assert!((r.cpu_utilization() - 0.75).abs() < 1e-12);
+        assert!((r.device_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(RunReport::default().cpu_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests over the scheduler: arbitrary random task DAGs must run
+//! to completion, execute every task exactly once, respect dependency
+//! order, and produce causally consistent virtual times.
+
+use petal_gpu::cost::CpuWork;
+use petal_gpu::profile::MachineProfile;
+use petal_rt::{Charge, Engine};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Execution log shared by all tasks: (task index, completion order).
+type Log = Rc<RefCell<Vec<usize>>>;
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    /// Per task: indices of earlier tasks it depends on.
+    deps: Vec<Vec<usize>>,
+    /// Per task: work in flops.
+    work: Vec<u32>,
+    machine_idx: usize,
+    workers: usize,
+    seed: u64,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (2usize..40).prop_flat_map(|n| {
+        let deps = proptest::collection::vec(
+            proptest::collection::vec(0usize..n.max(1), 0..4),
+            n,
+        );
+        let work = proptest::collection::vec(1u32..1_000_000, n);
+        (deps, work, 0usize..3, 1usize..6, any::<u64>()).prop_map(
+            move |(raw_deps, work, machine_idx, workers, seed)| {
+                // Only allow edges to strictly earlier tasks: guarantees a DAG.
+                let deps = raw_deps
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ds)| {
+                        let mut ds: Vec<usize> =
+                            ds.into_iter().filter(|&d| d < i).collect();
+                        ds.sort_unstable();
+                        ds.dedup();
+                        ds
+                    })
+                    .collect();
+                GraphSpec { deps, work, machine_idx, workers, seed }
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_complete_in_dependency_order(spec in graph_strategy()) {
+        let machines = MachineProfile::all();
+        let machine = &machines[spec.machine_idx];
+        let n = spec.deps.len();
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut engine: Engine<()> = Engine::with_workers(machine, spec.workers, spec.seed);
+        let mut ids = Vec::with_capacity(n);
+        for (i, flops) in spec.work.iter().enumerate() {
+            let log = Rc::clone(&log);
+            let flops = f64::from(*flops);
+            let id = engine.add_cpu_task(move |(), _| {
+                log.borrow_mut().push(i);
+                Charge::Work(CpuWork::new(flops, flops / 2.0))
+            });
+            ids.push(id);
+        }
+        for (i, ds) in spec.deps.iter().enumerate() {
+            for &d in ds {
+                engine.add_dependency(ids[i], ids[d]).expect("valid dependency");
+            }
+        }
+        let report = engine.run(&mut ()).expect("acyclic graphs never deadlock");
+
+        // Every task ran exactly once.
+        let order = log.borrow();
+        prop_assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &t in order.iter() {
+            prop_assert!(!seen[t], "task {} ran twice", t);
+            seen[t] = true;
+        }
+        // Dependencies execute before dependents.
+        let mut position = vec![0usize; n];
+        for (pos, &t) in order.iter().enumerate() {
+            position[t] = pos;
+        }
+        for (i, ds) in spec.deps.iter().enumerate() {
+            for &d in ds {
+                prop_assert!(position[d] < position[i], "dep {} must precede {}", d, i);
+            }
+        }
+        // Virtual-time sanity: makespan at least the critical path, at most
+        // the serial sum (both in compute terms).
+        let secs: Vec<f64> = spec
+            .work
+            .iter()
+            .map(|w| CpuWork::new(f64::from(*w), f64::from(*w) / 2.0).secs_on(&machine.cpu))
+            .collect();
+        let mut path = vec![0.0f64; n];
+        for i in 0..n {
+            let longest_dep =
+                spec.deps[i].iter().map(|&d| path[d]).fold(0.0f64, f64::max);
+            path[i] = longest_dep + secs[i];
+        }
+        let critical: f64 = path.iter().fold(0.0f64, |a, &b| a.max(b));
+        let serial: f64 = secs.iter().sum();
+        prop_assert!(report.makespan >= critical * 0.999,
+            "makespan {} below critical path {}", report.makespan, critical);
+        // Allow scheduling overhead (steal latency) on top of serial.
+        prop_assert!(report.makespan <= serial * 1.5 + 1e-3,
+            "makespan {} far above serial bound {}", report.makespan, serial);
+        prop_assert_eq!(report.cpu_tasks, n);
+    }
+
+    #[test]
+    fn same_seed_same_everything(spec in graph_strategy()) {
+        let machines = MachineProfile::all();
+        let machine = &machines[spec.machine_idx];
+        let run = || {
+            let mut engine: Engine<u64> =
+                Engine::with_workers(machine, spec.workers, spec.seed);
+            let mut ids = Vec::new();
+            for flops in &spec.work {
+                let flops = f64::from(*flops);
+                ids.push(engine.add_cpu_task(move |s: &mut u64, _| {
+                    *s = s.wrapping_mul(31).wrapping_add(1);
+                    Charge::Work(CpuWork::new(flops, 0.0))
+                }));
+            }
+            for (i, ds) in spec.deps.iter().enumerate() {
+                for &d in ds {
+                    engine.add_dependency(ids[i], ids[d]).unwrap();
+                }
+            }
+            let mut state = 0u64;
+            let report = engine.run(&mut state).unwrap();
+            (state, report)
+        };
+        let (s1, r1) = run();
+        let (s2, r2) = run();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,359 @@
+//! # petal-tuner — the evolutionary autotuner (§5)
+//!
+//! Searches the configuration space of a benchmark for one machine:
+//!
+//! * **Representation** — a [`petal_core::Config`]: selectors (piecewise
+//!   algorithm choices over input sizes, §5.1) plus bounded integer
+//!   tunables (OpenCL local work sizes, GPU/CPU ratios in 1/8 steps,
+//!   cutoffs).
+//! * **Algorithm** (§5.2) — an *asexual* evolutionary search: each new
+//!   candidate has a single parent, and is admitted to the population only
+//!   if it outperforms that parent. Test input sizes grow exponentially,
+//!   exploiting optimal substructure; small sizes run fewer trials (§5.4's
+//!   mitigation of kernel-compile overhead, which the simulated device also
+//!   charges).
+//! * **Mutators** ([`mutate`]) — selector manipulation (add / remove /
+//!   change a level), and tunable manipulation with log-normal scaling for
+//!   size-like values ("a value is equally likely to be halved as ...
+//!   doubled") and uniform choice for small-range values.
+//!
+//! The fitness of a candidate is the virtual makespan reported by the
+//! deterministic executor; candidates that fail the benchmark's
+//! correctness/accuracy check (e.g. the SVD accuracy target) are rejected
+//! outright.
+
+pub mod mutate;
+
+use petal_apps::Benchmark;
+use petal_core::executor::Executor;
+use petal_core::{Config, Program};
+use petal_gpu::profile::MachineProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs controlling the search effort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerSettings {
+    /// RNG seed (the whole search is deterministic given the seed).
+    pub seed: u64,
+    /// Mutants evaluated per input-size round.
+    pub trials_per_round: usize,
+    /// Population capacity (best candidates kept).
+    pub population: usize,
+    /// Input sizes as fractions of the benchmark's final size; the last
+    /// entry should be 1.0. Sizes grow exponentially as in §5.2.
+    pub size_schedule: Vec<f64>,
+    /// Fewer trials at small sizes: the fraction of `trials_per_round`
+    /// used for every entry of the schedule except the last (§5.4).
+    pub small_size_trial_fraction: f64,
+    /// Model a process restart per candidate test, so every trial re-JITs
+    /// its kernels (the fixed startup cost that dominates small-input
+    /// autotuning in §5.4). The IR cache then skips the frontend.
+    pub model_process_restarts: bool,
+}
+
+impl TunerSettings {
+    /// The default search effort used by the figure harnesses.
+    #[must_use]
+    pub fn standard() -> Self {
+        TunerSettings {
+            seed: 0xa11ce,
+            trials_per_round: 48,
+            population: 6,
+            size_schedule: vec![1.0 / 64.0, 1.0 / 8.0, 1.0],
+            small_size_trial_fraction: 0.5,
+            model_process_restarts: true,
+        }
+    }
+
+    /// A tiny budget for unit tests and doc examples.
+    #[must_use]
+    pub fn smoke() -> Self {
+        TunerSettings {
+            seed: 7,
+            trials_per_round: 6,
+            population: 3,
+            size_schedule: vec![0.25, 1.0],
+            small_size_trial_fraction: 0.5,
+            model_process_restarts: false,
+        }
+    }
+}
+
+impl Default for TunerSettings {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Accounting over one autotuning run (feeds the Fig. 8 table).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TuningStats {
+    /// Candidate evaluations performed.
+    pub trials: usize,
+    /// Candidates rejected by the correctness/accuracy check.
+    pub rejected: usize,
+    /// Total virtual time spent testing (execution + JIT compiles) — the
+    /// analog of the paper's "Mean Autotuning Time".
+    pub tuning_secs: f64,
+    /// Virtual seconds of that spent in runtime kernel compilation.
+    pub compile_secs: f64,
+}
+
+/// The result of autotuning.
+#[derive(Debug, Clone)]
+pub struct Tuned {
+    /// The best configuration found.
+    pub config: Config,
+    /// Its virtual execution time at full input size.
+    pub time_secs: f64,
+    /// Search accounting.
+    pub stats: TuningStats,
+}
+
+struct Candidate {
+    config: Config,
+    fitness: f64,
+}
+
+/// The evolutionary autotuner for one (benchmark, machine) pair.
+pub struct Autotuner<'a> {
+    benchmark: &'a dyn Benchmark,
+    machine: MachineProfile,
+    program: Program,
+    settings: TunerSettings,
+    rng: StdRng,
+    executor: Executor,
+    stats: TuningStats,
+}
+
+impl std::fmt::Debug for Autotuner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Autotuner")
+            .field("benchmark", &self.benchmark.name())
+            .field("machine", &self.machine.codename)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Autotuner<'a> {
+    /// New tuner with the given search effort.
+    #[must_use]
+    pub fn new(benchmark: &'a dyn Benchmark, machine: &MachineProfile, settings: TunerSettings) -> Self {
+        let mut executor = Executor::new(machine);
+        executor.set_process_restarts(settings.model_process_restarts);
+        Autotuner {
+            benchmark,
+            machine: machine.clone(),
+            program: benchmark.program(machine),
+            settings,
+            rng: StdRng::seed_from_u64(0),
+            executor,
+            stats: TuningStats::default(),
+        }
+    }
+
+    /// Enable or disable the kernel compiler's IR cache (§5.4 ablation).
+    pub fn set_ir_cache(&mut self, enabled: bool) -> &mut Self {
+        use petal_gpu::compile::CompileCache;
+        use petal_gpu::device::Device;
+        let device = self.machine.gpu.clone().map(|g| {
+            if enabled {
+                Device::new(g)
+            } else {
+                Device::with_compiler(g, CompileCache::without_ir_cache())
+            }
+        });
+        self.executor.set_device(device);
+        self
+    }
+
+    /// Run the search and return the best configuration.
+    ///
+    /// The executor (and therefore the device's kernel cache) persists
+    /// across trials, exactly as one autotuning process would behave; the
+    /// accumulated compile time is reported in [`TuningStats`].
+    pub fn run(&mut self) -> Tuned {
+        self.rng = StdRng::seed_from_u64(self.settings.seed);
+        let schedule = self.settings.size_schedule.clone();
+        let full_size = self.benchmark.input_size();
+        let seed_config = self.program.default_config(&self.machine);
+        let mut population = vec![Candidate { config: seed_config, fitness: f64::INFINITY }];
+
+        for (round, frac) in schedule.iter().enumerate() {
+            let is_final = round == schedule.len() - 1;
+            let size = ((full_size as f64 * frac) as u64).max(1);
+            let trials = if is_final {
+                self.settings.trials_per_round
+            } else {
+                ((self.settings.trials_per_round as f64 * self.settings.small_size_trial_fraction)
+                    as usize)
+                    .max(1)
+            };
+            // Re-evaluate survivors at the new size.
+            for cand in &mut population {
+                cand.fitness = self.evaluate(&cand.config, size).unwrap_or(f64::INFINITY);
+            }
+            for _ in 0..trials {
+                let parent_idx = self.pick_parent(population.len());
+                let parent_fitness = population[parent_idx].fitness;
+                let child = mutate::mutate(
+                    &population[parent_idx].config,
+                    &self.program,
+                    &self.machine,
+                    full_size,
+                    &mut self.rng,
+                );
+                if let Some(f) = self.evaluate(&child, size) {
+                    // §5.2: children join only if they beat their parent.
+                    if f < parent_fitness {
+                        population.push(Candidate { config: child, fitness: f });
+                        population.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+                        population.truncate(self.settings.population);
+                    }
+                } else {
+                    self.stats.rejected += 1;
+                }
+            }
+            population.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+            population.truncate(self.settings.population);
+        }
+
+        // Make sure the winner's fitness reflects the full size.
+        let mut best_idx = 0;
+        let mut best_time = f64::INFINITY;
+        for (i, cand) in population.iter().enumerate() {
+            let t = self.evaluate(&cand.config, full_size).unwrap_or(f64::INFINITY);
+            if t < best_time {
+                best_time = t;
+                best_idx = i;
+            }
+        }
+        Tuned {
+            config: population.swap_remove(best_idx).config,
+            time_secs: best_time,
+            stats: self.stats,
+        }
+    }
+
+    /// Biased parent selection: index 0 (the best) is picked most often.
+    fn pick_parent(&mut self, len: usize) -> usize {
+        let a = self.rng.gen_range(0..len);
+        let b = self.rng.gen_range(0..len);
+        a.min(b)
+    }
+
+    /// Evaluate a configuration at `size` elements; `None` when the
+    /// candidate is invalid or fails the benchmark's check.
+    fn evaluate(&mut self, cfg: &Config, size: u64) -> Option<f64> {
+        let sized: Box<dyn Benchmark>;
+        let bench: &dyn Benchmark = if size == self.benchmark.input_size() {
+            self.benchmark
+        } else {
+            sized = self.benchmark.resized(size)?;
+            &*sized
+        };
+        let petal_apps::Instance { mut world, plan, check } =
+            bench.instantiate(&self.machine, cfg);
+        let report = self.executor.run(plan, &mut world).ok()?;
+        self.stats.trials += 1;
+        self.stats.tuning_secs += report.total_secs();
+        self.stats.compile_secs += report.compile_secs;
+        if check(&world).is_err() {
+            return None;
+        }
+        Some(report.virtual_time_secs())
+    }
+
+    /// Search accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> TuningStats {
+        self.stats
+    }
+}
+
+/// Render a configuration for the Fig. 6 table: the selector poly-algorithm
+/// levels plus the placement-relevant tunables.
+#[must_use]
+pub fn describe_config(cfg: &Config) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, sel) in cfg.selectors() {
+        let _ = write!(out, "{name}: alg {}", sel.algs()[0]);
+        for (c, a) in sel.cutoffs().iter().zip(&sel.algs()[1..]) {
+            let _ = write!(out, " | >= {c}: alg {a}");
+        }
+        if let Some(r) = cfg.tunable(&format!("{name}.gpu_ratio")) {
+            let _ = write!(out, " (gpu {}/8)", r.value);
+        }
+        if let Some(l) = cfg.tunable(&format!("{name}.local_size")) {
+            let _ = write!(out, " (lws {})", l.value);
+        }
+        out.push_str("; ");
+    }
+    out.trim_end_matches("; ").to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petal_apps::blackscholes::BlackScholes;
+    use petal_apps::convolution::SeparableConvolution;
+
+    #[test]
+    fn tuner_improves_on_the_default_config() {
+        // Black-Scholes on the Desktop: the default (CPU) config is far
+        // from the GPU optimum; even a smoke-budget search must find a
+        // large win.
+        let bench = BlackScholes::new(100_000);
+        let machine = MachineProfile::desktop();
+        let default_time = bench
+            .run_default(&machine)
+            .expect("default runs")
+            .virtual_time_secs();
+        let mut tuner = Autotuner::new(&bench, &machine, TunerSettings::smoke());
+        let tuned = tuner.run();
+        assert!(
+            tuned.time_secs < default_time * 0.7,
+            "tuned {} vs default {default_time}",
+            tuned.time_secs
+        );
+        assert!(tuned.stats.trials > 0);
+    }
+
+    #[test]
+    fn search_is_deterministic_given_a_seed() {
+        let bench = SeparableConvolution::new(96, 5);
+        let machine = MachineProfile::laptop();
+        let run = || Autotuner::new(&bench, &machine, TunerSettings::smoke()).run();
+        let a = run();
+        let b = run();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.time_secs, b.time_secs);
+    }
+
+    #[test]
+    fn tuning_time_accounts_compiles() {
+        let bench = SeparableConvolution::new(96, 5);
+        let machine = MachineProfile::desktop();
+        let settings = TunerSettings { trials_per_round: 32, ..TunerSettings::smoke() };
+        let mut tuner = Autotuner::new(&bench, &machine, settings);
+        let tuned = tuner.run();
+        assert!(tuned.stats.tuning_secs > 0.0);
+        assert!(
+            tuned.stats.compile_secs > 0.0,
+            "OpenCL candidates must have JIT-compiled at least once"
+        );
+        assert!(tuned.stats.tuning_secs >= tuned.stats.compile_secs);
+    }
+
+    #[test]
+    fn describe_config_mentions_selectors_and_ratios() {
+        let bench = BlackScholes::new(1024);
+        let machine = MachineProfile::desktop();
+        let cfg = bench.program(&machine).default_config(&machine);
+        let text = describe_config(&cfg);
+        assert!(text.contains("blackscholes"));
+        assert!(text.contains("gpu 8/8"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Mutation operators (§5.2).
+//!
+//! "Mutators are functions that create a new algorithm configuration by
+//! changing an existing configuration" — generated from the program's
+//! static structure. Three families exist, as in the paper:
+//!
+//! * **selector manipulation** — add, remove, or change a level of a
+//!   selector;
+//! * **cutoff scaling** — values compared against input sizes are scaled by
+//!   a log-normal factor, so halving and doubling are equally likely and
+//!   small changes are more likely than large ones;
+//! * **tunable manipulation** — size-like tunables scale log-normally,
+//!   small-range tunables (algorithm-like, ratios) draw uniformly.
+
+use petal_core::config::{Config, Selector, Tunable, MAX_SELECTOR_LEVELS};
+use petal_core::Program;
+use petal_gpu::profile::MachineProfile;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw a log-normal scale factor: `exp(N(0, ln 2))`, clamped to keep
+/// mutations finite.
+fn lognormal_scale(rng: &mut StdRng) -> f64 {
+    // Box-Muller with the crate's uniform source keeps rand's API surface
+    // small (no rand_distr dependency).
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (z * std::f64::consts::LN_2).exp().clamp(0.05, 20.0)
+}
+
+/// Scale a size-like integer log-normally within `[min, max]`.
+fn scale_size(value: i64, min: i64, max: i64, rng: &mut StdRng) -> i64 {
+    let scaled = (value.max(1) as f64 * lognormal_scale(rng)).round() as i64;
+    scaled.clamp(min, max)
+}
+
+/// Produce a mutated copy of `cfg`.
+///
+/// One mutation site is chosen uniformly among all selectors and tunables;
+/// the applicable operator for that site is then applied. The operator set
+/// is derived from the program structure, as in the paper ("generated
+/// fully automatically with the static analysis information").
+#[must_use]
+pub fn mutate(
+    cfg: &Config,
+    program: &Program,
+    machine: &MachineProfile,
+    max_input_size: u64,
+    rng: &mut StdRng,
+) -> Config {
+    let mut out = cfg.clone();
+    let selector_names: Vec<String> = out.selectors().map(|(n, _)| n.to_owned()).collect();
+    let tunable_names: Vec<String> = out.tunables().map(|(n, _)| n.to_owned()).collect();
+    if selector_names.is_empty() && tunable_names.is_empty() {
+        return out;
+    }
+    // Algorithmic choices are the high-order bits of the search space:
+    // pick the selector family and the tunable family with equal weight
+    // (rather than uniformly over all sites, which would drown the few
+    // selectors among the many tunables).
+    let pick_selector = !selector_names.is_empty()
+        && (tunable_names.is_empty() || rng.gen_bool(0.5));
+    if pick_selector {
+        let name = &selector_names[rng.gen_range(0..selector_names.len())];
+        let current = out.selector(name).expect("iterated name exists").clone();
+        let num_algs = current.num_algs();
+        let mutated = mutate_selector(&current, num_algs, max_input_size, rng);
+        out.set_selector(name, mutated);
+        let _ = (program, machine); // structure already encoded in the config
+    } else {
+        let name = &tunable_names[rng.gen_range(0..tunable_names.len())];
+        let t = *out.tunable(name).expect("iterated name exists");
+        let mutated = mutate_tunable(t, rng);
+        out.set_tunable(name, mutated);
+    }
+    out
+}
+
+/// Apply one selector-manipulation operator.
+fn mutate_selector(s: &Selector, num_algs: usize, max_input: u64, rng: &mut StdRng) -> Selector {
+    let mut cutoffs = s.cutoffs().to_vec();
+    let mut algs = s.algs().to_vec();
+    let op = rng.gen_range(0..4);
+    match op {
+        // Add a level: split a random position with a random cutoff.
+        0 if algs.len() < MAX_SELECTOR_LEVELS => {
+            let cutoff = rng.gen_range(1..=max_input.max(2));
+            let pos = cutoffs.partition_point(|&c| c < cutoff);
+            if cutoffs.get(pos) == Some(&cutoff) {
+                // Duplicate cutoff: fall through to changing an algorithm.
+                let i = rng.gen_range(0..algs.len());
+                algs[i] = rng.gen_range(0..num_algs);
+            } else {
+                cutoffs.insert(pos, cutoff);
+                algs.insert(pos + 1, rng.gen_range(0..num_algs));
+            }
+        }
+        // Remove a level.
+        1 if !cutoffs.is_empty() => {
+            let i = rng.gen_range(0..cutoffs.len());
+            cutoffs.remove(i);
+            algs.remove(i + 1);
+        }
+        // Scale a cutoff log-normally.
+        2 if !cutoffs.is_empty() => {
+            let i = rng.gen_range(0..cutoffs.len());
+            let scaled = ((cutoffs[i].max(1)) as f64 * lognormal_scale(rng)).round() as u64;
+            let lo = if i == 0 { 1 } else { cutoffs[i - 1] + 1 };
+            let hi = cutoffs.get(i + 1).map_or(u64::MAX, |&c| c.saturating_sub(1)).max(lo);
+            cutoffs[i] = scaled.clamp(lo, hi);
+        }
+        // Change a level's algorithm (uniform random, per §5.2).
+        _ => {
+            let i = rng.gen_range(0..algs.len());
+            algs[i] = rng.gen_range(0..num_algs);
+        }
+    }
+    Selector::new(cutoffs, algs, num_algs)
+}
+
+/// Apply the tunable-manipulation operator appropriate for the range.
+fn mutate_tunable(t: Tunable, rng: &mut StdRng) -> Tunable {
+    if t.cardinality() <= 64 {
+        // Small ranges (ratios, flags): uniform draw.
+        Tunable::new(rng.gen_range(t.min..=t.max), t.min, t.max)
+    } else {
+        // Size-like values: log-normal scaling.
+        Tunable::new(scale_size(t.value, t.min, t.max, rng), t.min, t.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn lognormal_is_centered_and_symmetricish() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..4000).map(|_| lognormal_scale(&mut r)).collect();
+        let geo_mean =
+            (samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64).exp();
+        assert!((geo_mean - 1.0).abs() < 0.1, "geometric mean {geo_mean}");
+        let halved = samples.iter().filter(|&&x| x < 0.55).count();
+        let doubled = samples.iter().filter(|&&x| x > 1.8).count();
+        let ratio = halved as f64 / doubled.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "halve/double balance {ratio}");
+    }
+
+    #[test]
+    fn selector_mutations_stay_valid() {
+        let mut r = rng();
+        let mut s = Selector::new(vec![100, 1000], vec![0, 1, 2], 3);
+        for _ in 0..500 {
+            s = mutate_selector(&s, 3, 1 << 20, &mut r);
+            assert!(s.levels() <= MAX_SELECTOR_LEVELS);
+            assert!(s.cutoffs().windows(2).all(|w| w[0] < w[1]));
+            assert!(s.algs().iter().all(|&a| a < 3));
+        }
+    }
+
+    #[test]
+    fn tunable_mutations_respect_bounds() {
+        let mut r = rng();
+        let ratio = Tunable::new(4, 0, 8);
+        let size = Tunable::new(4096, 1, 1 << 20);
+        for _ in 0..200 {
+            let m = mutate_tunable(ratio, &mut r);
+            assert!((0..=8).contains(&m.value));
+            let m = mutate_tunable(size, &mut r);
+            assert!((1..=(1 << 20)).contains(&m.value));
+        }
+    }
+
+    #[test]
+    fn mutate_changes_something_eventually() {
+        let mut cfg = Config::new();
+        cfg.set_selector("s", Selector::constant(0, 4));
+        cfg.set_tunable("t", Tunable::new(128, 1, 1024));
+        let program = Program::new("x");
+        let machine = petal_gpu::profile::MachineProfile::desktop();
+        let mut r = rng();
+        let changed = (0..50)
+            .map(|_| mutate(&cfg, &program, &machine, 1 << 16, &mut r))
+            .filter(|c| *c != cfg)
+            .count();
+        assert!(changed > 20, "mutation should usually change the config ({changed}/50)");
+    }
+}

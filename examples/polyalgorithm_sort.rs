@@ -1,0 +1,54 @@
+//! Domain scenario: the Sort benchmark's poly-algorithms (Fig. 6's rows).
+//!
+//! Builds the paper-style hybrid configurations by hand — e.g. "4-way
+//! merge sort above 7622, 2-way until 2730, then insertion sort" — and
+//! compares them against single-algorithm configurations and the GPU
+//! bitonic baseline.
+//!
+//! ```sh
+//! cargo run --release --example polyalgorithm_sort
+//! ```
+
+use petal::prelude::*;
+use petal_apps::sort::Sort;
+
+fn main() -> Result<(), Error> {
+    let n = 1 << 17;
+    let sort = Sort::new(n);
+    println!("Sorting {n} doubles with different poly-algorithms\n");
+
+    for machine in MachineProfile::all() {
+        println!("--- {} ---", machine.codename);
+        let program = sort.program(&machine);
+        let mut run = |label: &str, sel: Selector| -> Result<f64, Error> {
+            let mut cfg = program.default_config(&machine);
+            cfg.set_selector("sort", sel);
+            let t = sort.run_with_config(&machine, &cfg)?.virtual_time_secs();
+            println!("{label:46} {t:.5}s");
+            Ok(t)
+        };
+        // Single algorithms.
+        run("insertion sort only", Selector::constant(0, 8))?;
+        run("quicksort only", Selector::constant(2, 8))?;
+        run("radix sort only", Selector::constant(3, 8))?;
+        // Paper-style poly-algorithms (Fig. 6).
+        let server_style = run(
+            "4MS > 7622 > 2MS > 2730 > insertion (Server)",
+            Selector::new(vec![2730, 7622], vec![0, 4, 5], 8),
+        )?;
+        let desktop_style = run(
+            "2MS > 64294 > QS > 341 > insertion (Desktop)",
+            Selector::new(vec![341, 64_294], vec![0, 2, 4], 8),
+        )?;
+        if machine.has_physical_gpu() {
+            let gpu = run("GPU bitonic (hand-written baseline)", Selector::constant(7, 8))?;
+            let best_poly = server_style.min(desktop_style);
+            println!(
+                "GPU bitonic is {:.1}x slower than the best poly-algorithm here",
+                gpu / best_poly
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

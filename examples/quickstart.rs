@@ -1,0 +1,39 @@
+//! Quickstart: define a problem, autotune it for a machine, run the tuned
+//! configuration, and inspect what the tuner chose.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use petal::prelude::*;
+use petal_apps::convolution::SeparableConvolution;
+use petal_tuner::describe_config;
+
+fn main() -> Result<(), Error> {
+    // The paper's driving example (Fig. 1): separable convolution, which
+    // can run as one 2D pass or two 1D passes, on the CPU backend or as
+    // generated OpenCL kernels with or without scratchpad staging.
+    let bench = SeparableConvolution::new(256, 7);
+
+    for machine in MachineProfile::all() {
+        // Untuned baseline: the first algorithm everywhere, CPU backend.
+        let default_cfg = bench.program(&machine).default_config(&machine);
+        let untuned = bench.run_with_config(&machine, &default_cfg)?;
+
+        // Autotune (a small budget; the figure harnesses use more).
+        let mut tuner = Autotuner::new(&bench, &machine, TunerSettings::smoke());
+        let tuned = tuner.run();
+        let report = bench.run_with_config(&machine, &tuned.config)?;
+
+        println!("=== {} ===", machine.codename);
+        println!("untuned : {:.6} virtual seconds", untuned.virtual_time_secs());
+        println!(
+            "tuned   : {:.6} virtual seconds ({:.2}x speedup, {} trials)",
+            report.virtual_time_secs(),
+            untuned.virtual_time_secs() / report.virtual_time_secs(),
+            tuned.stats.trials,
+        );
+        println!("config  : {}\n", describe_config(&tuned.config));
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # petal — portable performance on heterogeneous architectures
+//!
+//! `petal` is a Rust reproduction of the ASPLOS 2013 system
+//! *Portable Performance on Heterogeneous Architectures* (the heterogeneous
+//! extension of PetaBricks). A single program written against
+//! [`petal_core`]'s transform/rule model encodes a *space* of algorithms;
+//! an evolutionary autotuner ([`petal_tuner`]) empirically searches that
+//! space — algorithm selection, CPU/GPU placement, fractional work splits,
+//! scratchpad-memory mapping, work-group sizes — per target machine.
+//!
+//! Because this environment has no physical GPU, devices are provided by
+//! [`petal_gpu`], a simulated OpenCL subsystem: kernels run *functionally*
+//! on the host (bit-exact data), while a calibrated analytic cost model
+//! advances a virtual clock. The runtime ([`petal_rt`]) is a deterministic
+//! discrete-event simulation of the paper's hybrid
+//! workstealing/work-pushing scheduler.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use petal::prelude::*;
+//!
+//! // A machine to tune for (Desktop: 4 cores + discrete GPU).
+//! let machine = MachineProfile::desktop();
+//! // The separable-convolution benchmark from the paper (Fig. 1).
+//! let bench = petal::apps::convolution::SeparableConvolution::new(64, 5);
+//! // Autotune briefly and run the best configuration found.
+//! let mut tuner = Autotuner::new(&bench, &machine, TunerSettings::smoke());
+//! let tuned = tuner.run();
+//! let report = bench.run_with_config(&machine, &tuned.config)?;
+//! assert!(report.virtual_time_secs() > 0.0);
+//! # Ok::<(), petal::Error>(())
+//! ```
+
+pub use petal_apps as apps;
+pub use petal_blas as blas;
+pub use petal_core as core;
+pub use petal_gpu as gpu;
+pub use petal_rt as rt;
+pub use petal_tuner as tuner;
+
+pub use petal_core::Error;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use petal_apps::{Benchmark, Instance};
+    pub use petal_core::{
+        config::{Config, Selector, Tunable},
+        executor::{ExecReport, Executor},
+        plan::{Placement, Plan, PlanBuilder},
+        program::Program,
+        Error, World,
+    };
+    pub use petal_gpu::profile::MachineProfile;
+    pub use petal_tuner::{Autotuner, Tuned, TunerSettings};
+}

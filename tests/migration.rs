@@ -1,0 +1,96 @@
+//! Cross-crate integration tests for the paper's headline results (§6.3):
+//! configurations tuned for one machine lose when migrated to another, and
+//! each machine's winner differs in the way the paper describes.
+
+use petal::prelude::*;
+use petal_apps::blackscholes::BlackScholes;
+use petal_apps::strassen::Strassen;
+use petal_tuner::{Autotuner, TunerSettings};
+
+fn settings(seed: u64) -> TunerSettings {
+    TunerSettings {
+        seed,
+        trials_per_round: 24,
+        population: 4,
+        size_schedule: vec![0.125, 1.0],
+        small_size_trial_fraction: 0.5,
+        model_process_restarts: false,
+    }
+}
+
+#[test]
+fn strassen_laptop_style_config_hurts_desktop() {
+    // Fig. 7(e): the Laptop's tuned configuration is a direct LAPACK call
+    // (Fig. 6); migrated to the Desktop it loses badly to the natively
+    // tuned configuration (the paper reports 16.5x; the shape — a large
+    // penalty — is what we reproduce).
+    let bench = Strassen::new(256);
+    let desktop = MachineProfile::desktop();
+    let laptop_style = {
+        let mut cfg = bench.program(&desktop).default_config(&desktop);
+        cfg.set_selector("matmul", Selector::constant(0, 7)); // direct LAPACK
+        cfg
+    };
+    let desktop_tuned = Autotuner::new(&bench, &desktop, settings(1)).run();
+    let native = bench
+        .run_with_config(&desktop, &desktop_tuned.config)
+        .expect("native runs")
+        .virtual_time_secs();
+    let migrated = bench
+        .run_with_config(&desktop, &laptop_style)
+        .expect("migrated runs")
+        .virtual_time_secs();
+    let penalty = migrated / native;
+    assert!(penalty > 1.5, "laptop-style config on desktop should be slow: {penalty:.2}x");
+
+    // And the reverse direction: a pinned all-GPU config must not beat the
+    // laptop's own tuned configuration on the laptop.
+    let laptop = MachineProfile::laptop();
+    let mut gpu_cfg = bench.program(&laptop).default_config(&laptop);
+    gpu_cfg.set_selector("matmul", Selector::constant(6, 7));
+    let laptop_tuned = Autotuner::new(&bench, &laptop, settings(2)).run();
+    let native = bench
+        .run_with_config(&laptop, &laptop_tuned.config)
+        .expect("native runs")
+        .virtual_time_secs();
+    let gpu = bench.run_with_config(&laptop, &gpu_cfg).expect("gpu runs").virtual_time_secs();
+    assert!(gpu >= native * 0.99, "all-GPU must not beat laptop tuning: {gpu} vs {native}");
+}
+
+#[test]
+fn blackscholes_tuned_configs_match_paper_placements() {
+    // Fig. 6: Desktop runs Black-Scholes entirely on the GPU; the Laptop
+    // divides the work, putting only part of it on the device.
+    let bench = BlackScholes::new(200_000);
+    let desktop = MachineProfile::desktop();
+    let tuned = Autotuner::new(&bench, &desktop, settings(3)).run();
+    let alg = tuned.config.select("blackscholes", bench.input_size());
+    let ratio = tuned.config.tunable_or("blackscholes.gpu_ratio", 8);
+    assert_eq!(alg, 1, "desktop must choose the OpenCL backend");
+    assert!(ratio >= 7, "desktop should run (almost) everything on the GPU, got {ratio}/8");
+
+    let laptop = MachineProfile::laptop();
+    let tuned = Autotuner::new(&bench, &laptop, settings(4)).run();
+    let alg = tuned.config.select("blackscholes", bench.input_size());
+    let ratio = tuned.config.tunable_or("blackscholes.gpu_ratio", 8);
+    assert_eq!(alg, 1, "laptop also uses the device...");
+    assert!(
+        (1..8).contains(&ratio),
+        "...but splits the work fractionally (Fig. 6: 25%/75%), got {ratio}/8"
+    );
+}
+
+#[test]
+fn config_files_roundtrip_through_text() {
+    // The choice configuration file (§3): tuned configs survive
+    // serialization, and the reparsed config reproduces the same run.
+    let bench = BlackScholes::new(50_000);
+    let machine = MachineProfile::desktop();
+    let tuned = Autotuner::new(&bench, &machine, settings(5)).run();
+    let text = tuned.config.to_string();
+    let parsed: Config = text.parse().expect("config file parses");
+    assert_eq!(parsed, tuned.config);
+    let a = bench.run_with_config(&machine, &tuned.config).unwrap().virtual_time_secs();
+    let b = bench.run_with_config(&machine, &parsed).unwrap().virtual_time_secs();
+    assert_eq!(a, b, "identical configs give identical deterministic times");
+}
