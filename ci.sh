@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate, exactly as every PR must pass it. Networking is assumed
+# absent: all dependencies are workspace-internal (see shims/), and
+# --offline turns any accidental registry dependency into a hard error
+# instead of a hung fetch — a missing-manifest regression can never land.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release (offline)"
+cargo build --release --offline
+
+echo "== cargo test -q (offline)"
+cargo test -q --offline
+
+echo "== cargo bench --no-run (offline, benches must keep compiling)"
+cargo bench --offline --no-run
+
+echo "CI green"

@@ -11,9 +11,9 @@ use crate::workload::random_vec;
 use crate::Instance;
 use petal_blas::Matrix;
 use petal_core::plan::{placement_from_config, PlanBuilder, StencilStep};
+use petal_core::program::ChoiceSite;
 use petal_core::stencil::{AccessPattern, StencilInput, StencilRule};
 use petal_core::{Config, Program, World};
-use petal_core::program::ChoiceSite;
 use petal_gpu::profile::MachineProfile;
 use std::sync::Arc;
 
@@ -106,7 +106,8 @@ impl crate::Benchmark for BlackScholes {
     }
 
     fn resized(&self, size: u64) -> Option<Box<dyn crate::Benchmark>> {
-        (size >= 64).then(|| Box::new(BlackScholes::new(size as usize)) as Box<dyn crate::Benchmark>)
+        (size >= 64)
+            .then(|| Box::new(BlackScholes::new(size as usize)) as Box<dyn crate::Benchmark>)
     }
 
     fn program(&self, _machine: &MachineProfile) -> Program {
@@ -134,8 +135,7 @@ impl crate::Benchmark for BlackScholes {
         let out = world.alloc(Matrix::zeros(rows, cols));
 
         let rule = Self::rule();
-        let placement =
-            placement_from_config(cfg, "blackscholes", n as u64, machine, &rule, rows);
+        let placement = placement_from_config(cfg, "blackscholes", n as u64, machine, &rule, rows);
         let mut p = PlanBuilder::new();
         p.stencil(
             StencilStep {
@@ -241,9 +241,6 @@ mod tests {
         let gpu_only = time(&cfg);
         cfg.set_tunable("blackscholes.gpu_ratio", Tunable::new(6, 0, 8));
         let split = time(&cfg);
-        assert!(
-            gpu_only < split,
-            "desktop GPU-only {gpu_only} must beat the 6/8 split {split}"
-        );
+        assert!(gpu_only < split, "desktop GPU-only {gpu_only} must beat the 6/8 split {split}");
     }
 }

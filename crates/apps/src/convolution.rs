@@ -204,9 +204,8 @@ impl crate::Benchmark for SeparableConvolution {
 
     fn resized(&self, size: u64) -> Option<Box<dyn crate::Benchmark>> {
         let n = (size as f64).sqrt() as usize;
-        (n > 3 * self.k).then(|| {
-            Box::new(SeparableConvolution::new(n, self.k)) as Box<dyn crate::Benchmark>
-        })
+        (n > 3 * self.k)
+            .then(|| Box::new(SeparableConvolution::new(n, self.k)) as Box<dyn crate::Benchmark>)
     }
 
     fn program(&self, _machine: &MachineProfile) -> Program {

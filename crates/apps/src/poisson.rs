@@ -128,7 +128,8 @@ impl Poisson2D {
     pub fn reference(u0: &Matrix, f: &Matrix, iters: usize) -> Matrix {
         let n2 = u0.rows();
         let h2 = 1.0 / ((n2 - 1) as f64 * (n2 - 1) as f64);
-        let mut red = Matrix::from_fn(n2, n2, |y, x| if (x + y) % 2 == 0 { u0[(y, x)] } else { 0.0 });
+        let mut red =
+            Matrix::from_fn(n2, n2, |y, x| if (x + y) % 2 == 0 { u0[(y, x)] } else { 0.0 });
         let mut black =
             Matrix::from_fn(n2, n2, |y, x| if (x + y) % 2 == 1 { u0[(y, x)] } else { 0.0 });
         let sweep = |mine: &Matrix, other: &Matrix, color: usize| -> Matrix {
@@ -137,7 +138,8 @@ impl Poisson2D {
                 if x == 0 || y == 0 || x == n2 - 1 || y == n2 - 1 || !is_mine {
                     return if is_mine { mine[(y, x)] } else { 0.0 };
                 }
-                let nb = other[(y, x - 1)] + other[(y, x + 1)] + other[(y - 1, x)] + other[(y + 1, x)];
+                let nb =
+                    other[(y, x - 1)] + other[(y, x + 1)] + other[(y - 1, x)] + other[(y + 1, x)];
                 (1.0 - OMEGA) * mine[(y, x)] + OMEGA * 0.25 * (nb - h2 * f[(y, x)])
             })
         };
@@ -255,15 +257,8 @@ impl crate::Benchmark for Poisson2D {
             black.swap(0, 1);
             last = vec![b2];
         }
-        let _fin = step(
-            &mut p,
-            &combine_rule,
-            vec![red[0], black[0]],
-            out,
-            vec![],
-            iter_place,
-            &last,
-        );
+        let _fin =
+            step(&mut p, &combine_rule, vec![red[0], black[0]], out, vec![], iter_place, &last);
         p.mark_output(out);
 
         let expected = Self::reference(&u0_m, &f_m, self.iters);

@@ -125,13 +125,7 @@ impl crate::Benchmark for Sort {
             build_gpu_bitonic(&mut p, &mut world, machine, cfg, data, n);
         } else {
             let scratch = world.alloc(Matrix::zeros(1, n));
-            let params = SortParams {
-                cfg: Arc::new(cfg.clone()),
-                data,
-                scratch,
-                lo: 0,
-                hi: n,
-            };
+            let params = SortParams { cfg: Arc::new(cfg.clone()), data, scratch, lo: 0, hi: n };
             p.native(
                 NativeStep {
                     label: "sort_root".into(),
@@ -265,10 +259,8 @@ fn merge_step(w: &mut World, ctx: &mut CpuCtx<World>, params: &SortParams, ways:
     for i in 0..=ways {
         bounds.push(lo + m * i / ways);
     }
-    let runs: Vec<Vec<f64>> = bounds
-        .windows(2)
-        .map(|wd| w.get(data).as_slice()[wd[0]..wd[1]].to_vec())
-        .collect();
+    let runs: Vec<Vec<f64>> =
+        bounds.windows(2).map(|wd| w.get(data).as_slice()[wd[0]..wd[1]].to_vec()).collect();
     let mut cursors = vec![0usize; ways];
     let out = region_mut(w, data, lo, hi);
     for slot in out.iter_mut() {
@@ -477,8 +469,7 @@ fn build_gpu_bitonic(
     n: usize,
 ) {
     let n_pad = n.next_power_of_two().max(2);
-    let mut bufs =
-        [world.alloc(Matrix::zeros(1, n_pad)), world.alloc(Matrix::zeros(1, n_pad))];
+    let mut bufs = [world.alloc(Matrix::zeros(1, n_pad)), world.alloc(Matrix::zeros(1, n_pad))];
     let pad_step = p.native(
         NativeStep {
             label: "bitonic_pad".into(),

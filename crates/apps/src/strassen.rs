@@ -155,7 +155,13 @@ fn alloc_quads(world: &mut World, h: usize) -> [MatrixId; 4] {
 }
 
 /// Native step extracting the 2×2 quadrants of `src` into `dst`.
-fn split_step(p: &mut PlanBuilder, src: MatrixId, dst: [MatrixId; 4], h: usize, deps: &[StepId]) -> StepId {
+fn split_step(
+    p: &mut PlanBuilder,
+    src: MatrixId,
+    dst: [MatrixId; 4],
+    h: usize,
+    deps: &[StepId],
+) -> StepId {
     p.native(
         NativeStep {
             label: format!("split_{h}"),
@@ -224,10 +230,7 @@ fn build_recursive_8(
                     out.set_block(h * (q / 2), h * (q % 2), &sum);
                 }
                 w.set(c, out);
-                Charge::WorkPlusSecs(
-                    CpuWork::new((n * n) as f64, (n * n * 8 * 3) as f64),
-                    extra,
-                )
+                Charge::WorkPlusSecs(CpuWork::new((n * n) as f64, (n * n * 8 * 3) as f64), extra)
             }),
         },
         &terminals,

@@ -103,7 +103,8 @@ impl crate::Benchmark for Svd {
     }
 
     fn resized(&self, size: u64) -> Option<Box<dyn crate::Benchmark>> {
-        (size >= 8).then(|| Box::new(Svd::new(size as usize, self.target)) as Box<dyn crate::Benchmark>)
+        (size >= 8)
+            .then(|| Box::new(Svd::new(size as usize, self.target)) as Box<dyn crate::Benchmark>)
     }
 
     fn program(&self, _machine: &MachineProfile) -> Program {
@@ -194,9 +195,20 @@ impl crate::Benchmark for Svd {
         let s_avk = {
             let choice = cfg.select("matmul_svd", n as u64);
             if choice == 6 && machine.has_opencl() && n == k {
-                build_matmul(&mut p, &mut world, cfg, machine, "matmul_svd", a, vk, avk, n, &[s_eig])
-                    .pop()
-                    .expect("matmul emits steps")
+                build_matmul(
+                    &mut p,
+                    &mut world,
+                    cfg,
+                    machine,
+                    "matmul_svd",
+                    a,
+                    vk,
+                    avk,
+                    n,
+                    &[s_eig],
+                )
+                .pop()
+                .expect("matmul emits steps")
             } else {
                 p.native(
                     NativeStep {
@@ -204,8 +216,7 @@ impl crate::Benchmark for Svd {
                         reads: vec![a, vk],
                         writes: vec![avk],
                         run: Box::new(move |w: &mut World, ctx| {
-                            let extra =
-                                w.ensure_host(a, ctx.now()) + w.ensure_host(vk, ctx.now());
+                            let extra = w.ensure_host(a, ctx.now()) + w.ensure_host(vk, ctx.now());
                             let prod = petal_blas::gemm::lapack_gemm(w.get(a), w.get(vk));
                             w.set(avk, prod);
                             Charge::WorkPlusSecs(

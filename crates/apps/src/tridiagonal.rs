@@ -83,7 +83,7 @@ impl Tridiagonal {
                      double beta = (i + 1 < m) ? -IN0(i, 2) / IN0(i + 1, 1) : 0.0;\n\
                      /* y selects the output band (a, b, c, d) */\n\
                      ..."
-                .into(),
+            .into(),
             elem: Arc::new(|env, x, y| {
                 let m = env.scalars[0] as usize;
                 let bands = &env.inputs[0];
@@ -200,8 +200,14 @@ impl crate::Benchmark for Tridiagonal {
                 let reduce = Self::rule_reduce();
                 let backsub = Self::rule_backsub();
                 let place = |rule: &Arc<StencilRule>, rows: usize| {
-                    match placement_from_config(cfg, "tridiag_kernel", n as u64, machine, rule, rows)
-                    {
+                    match placement_from_config(
+                        cfg,
+                        "tridiag_kernel",
+                        n as u64,
+                        machine,
+                        rule,
+                        rows,
+                    ) {
                         // The selector for the kernels themselves defaults
                         // to the OpenCL backend (that is the point of
                         // choice 2); honor only the tunables.
@@ -210,8 +216,7 @@ impl crate::Benchmark for Tridiagonal {
                             local_size: cfg.tunable_or("tridiag_kernel.local_size", 128).clamp(
                                 1,
                                 machine.gpu.as_ref().map_or(1, |g| g.max_work_group) as i64,
-                            )
-                                as usize,
+                            ) as usize,
                         },
                         other => other,
                     }

@@ -5,6 +5,14 @@ use petal_blas::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Whether smoke-sized inputs were requested via `PETAL_SMOKE` (any value
+/// but `0`). Set by the root package's `tests/examples_smoke.rs`; examples
+/// and harnesses shrink their workloads when it is on.
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var_os("PETAL_SMOKE").is_some_and(|v| v != "0")
+}
+
 /// Uniform random matrix in `[lo, hi)` with a fixed seed.
 #[must_use]
 pub fn random_matrix(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {

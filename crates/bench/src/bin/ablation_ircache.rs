@@ -36,8 +36,11 @@ fn main() {
         TunerSettings { small_size_trial_fraction: 1.0, ..base.clone() },
         false,
     );
-    let cache_only = run("IR cache, full trials at small sizes",
-        TunerSettings { small_size_trial_fraction: 1.0, ..base.clone() }, true);
+    let cache_only = run(
+        "IR cache, full trials at small sizes",
+        TunerSettings { small_size_trial_fraction: 1.0, ..base.clone() },
+        true,
+    );
     let both = run("IR cache + fewer small-size trials (paper)", base.clone(), true);
     println!(
         "\nspeedup from IR cache: {:.2}x; combined (paper's setup): {:.2}x",

@@ -23,6 +23,7 @@ fn main() {
         small_size_trial_fraction: 0.5,
         model_process_restarts: false,
     };
+    let mut deviations = Vec::new();
     for machine in MachineProfile::all() {
         println!("--- {} ---", machine.codename);
         let mut header = vec!["Kernel width".to_owned()];
@@ -45,11 +46,27 @@ fn main() {
             let tuned = Autotuner::new(&bench, &machine, settings.clone()).run();
             cells.push(format!("{:.6}", tuned.time_secs));
             println!("{}", row(&cells, &widths));
-            assert!(
-                tuned.time_secs <= best_pinned * 1.05,
-                "autotuner should match the best pinned mapping"
-            );
+            // Paper claim: the autotuner matches the best pinned mapping.
+            // The evolutionary search currently gets stuck in a local
+            // optimum at large kernel widths (its admit-only-if-better
+            // rule cannot cross fitness valleys at these small trial
+            // budgets), so the deviation is reported rather than fatal;
+            // ROADMAP's "tuner convergence tests" item tracks closing it.
+            if tuned.time_secs > best_pinned * 1.05 {
+                deviations.push((machine.codename.clone(), k, tuned.time_secs / best_pinned));
+            }
         }
         println!();
+    }
+    if deviations.is_empty() {
+        println!("Paper claim holds: the autotuner matched the best pinned mapping everywhere.");
+    } else {
+        println!("DEVIATION from the paper's claim ({} points):", deviations.len());
+        for (codename, k, ratio) in &deviations {
+            println!("  {codename}, width {k}: autotuner {ratio:.2}x the best pinned mapping");
+        }
+        // Nonzero exit keeps the claim machine-checkable (the full table
+        // above still renders first).
+        std::process::exit(1);
     }
 }

@@ -19,10 +19,8 @@ fn time_on(bench: &dyn Benchmark, machine: &MachineProfile, cfg: &Config) -> Opt
 }
 
 fn main() {
-    let filter: Option<String> = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--full")
-        .map(|s| s.to_lowercase());
+    let filter: Option<String> =
+        std::env::args().nth(1).filter(|a| a != "--full").map(|s| s.to_lowercase());
     let machines = MachineProfile::all();
     let widths = [22, 12, 12, 12];
 

@@ -9,8 +9,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Codename", "CPU(s)", "Cores", "GPU", "OS", "OpenCL Runtime"]
-                .map(String::from),
+            &["Codename", "CPU(s)", "Cores", "GPU", "OS", "OpenCL Runtime"].map(String::from),
             &widths
         )
     );

@@ -126,7 +126,11 @@ impl TruncatedSvd {
 /// # Panics
 /// Panics if `k` is zero or exceeds `min(m, n)`.
 #[must_use]
-pub fn truncated_svd(a: &Matrix, k: usize, gemm: impl Fn(&Matrix, &Matrix) -> Matrix) -> TruncatedSvd {
+pub fn truncated_svd(
+    a: &Matrix,
+    k: usize,
+    gemm: impl Fn(&Matrix, &Matrix) -> Matrix,
+) -> TruncatedSvd {
     let (m, n) = (a.rows(), a.cols());
     assert!(k >= 1 && k <= m.min(n), "rank k={k} out of range for {m}x{n}");
     let ata = gemm(&a.transposed(), a);
@@ -134,13 +138,8 @@ pub fn truncated_svd(a: &Matrix, k: usize, gemm: impl Fn(&Matrix, &Matrix) -> Ma
     let sigma: Vec<f64> = eig.values.iter().take(k).map(|l| l.max(0.0).sqrt()).collect();
     let vk = Matrix::from_fn(n, k, |r, c| eig.vectors[(r, c)]);
     let avk = gemm(a, &vk);
-    let u = Matrix::from_fn(m, k, |r, c| {
-        if sigma[c] > 1e-300 {
-            avk[(r, c)] / sigma[c]
-        } else {
-            0.0
-        }
-    });
+    let u =
+        Matrix::from_fn(m, k, |r, c| if sigma[c] > 1e-300 { avk[(r, c)] / sigma[c] } else { 0.0 });
     TruncatedSvd { u, sigma, v: vk }
 }
 

@@ -30,10 +30,7 @@ impl TridiagonalSystem {
     pub fn new(a: Vec<f64>, b: Vec<f64>, c: Vec<f64>, d: Vec<f64>) -> Self {
         let n = b.len();
         assert!(n > 0, "empty system");
-        assert!(
-            a.len() == n && c.len() == n && d.len() == n,
-            "all bands must have equal length"
-        );
+        assert!(a.len() == n && c.len() == n && d.len() == n, "all bands must have equal length");
         TridiagonalSystem { a, b, c, d }
     }
 

@@ -196,9 +196,12 @@ pub fn generate_source(rule: &StencilRule, local_memory: bool) -> String {
     buffers.push(("__global double*".to_owned(), "out".to_owned()));
     let buf_refs: Vec<(&str, &str)> =
         buffers.iter().map(|(q, n)| (q.as_str(), n.as_str())).collect();
-    let mut scalars: Vec<(String, String)> =
-        vec![("int".into(), "out_w".into()), ("int".into(), "out_h".into()),
-             ("int".into(), "row0".into()), ("int".into(), "row1".into())];
+    let mut scalars: Vec<(String, String)> = vec![
+        ("int".into(), "out_w".into()),
+        ("int".into(), "out_h".into()),
+        ("int".into(), "row0".into()),
+        ("int".into(), "row1".into()),
+    ];
     for i in &rule.inputs {
         scalars.push(("int".into(), format!("in{}_w", i.index)));
         scalars.push(("int".into(), format!("in{}_h", i.index)));
@@ -285,20 +288,12 @@ fn emit_cooperative_loads(b: &mut SourceBuilder, rule: &StencilRule) {
             _ => {
                 let (bw, bh) = i.access.bounding_box().expect("staged inputs have a box");
                 b.line(&format!("__local double tile{k}[PETAL_TILE{k}_ELEMS];"));
-                b.line(&format!(
-                    "const int tile{k}_x0 = get_group_id(0) * get_local_size(0);"
-                ));
+                b.line(&format!("const int tile{k}_x0 = get_group_id(0) * get_local_size(0);"));
                 b.line(&format!(
                     "const int tile{k}_y0 = get_group_id(1) * get_local_size(1) + row0;"
                 ));
-                b.line(&format!(
-                    "const int tile{k}_w = get_local_size(0) + {};",
-                    bw - 1
-                ));
-                b.line(&format!(
-                    "const int tile{k}_h = get_local_size(1) + {};",
-                    bh - 1
-                ));
+                b.line(&format!("const int tile{k}_w = get_local_size(0) + {};", bw - 1));
+                b.line(&format!("const int tile{k}_h = get_local_size(1) + {};", bh - 1));
                 b.open(&format!(
                     "for (int i = get_local_id(1) * get_local_size(0) + get_local_id(0); \
                      i < tile{k}_w * tile{k}_h; i += get_local_size(0) * get_local_size(1))"
@@ -399,8 +394,7 @@ pub fn run_tiled(
                     let mut staged = vec![0.0; tcols * trows];
                     for r in 0..trows {
                         let src = (y0 + r) * cols + x0;
-                        staged[r * tcols..(r + 1) * tcols]
-                            .copy_from_slice(&data[src..src + tcols]);
+                        staged[r * tcols..(r + 1) * tcols].copy_from_slice(&data[src..src + tcols]);
                     }
                     View::Tile { data: staged, x0, y0, cols: tcols, rows: trows }
                 })
@@ -496,9 +490,7 @@ pub fn make_kernel_body(rule: Arc<StencilRule>, local_memory: bool) -> Arc<dyn K
         if out_buf.len() != want {
             return Err(GpuError::SizeMismatch { expected: want, actual: out_buf.len() });
         }
-        out_buf
-            .data_mut()
-            .copy_from_slice(&full[geom.row0 * geom.out_w..geom.row1 * geom.out_w]);
+        out_buf.data_mut().copy_from_slice(&full[geom.row0 * geom.out_w..geom.row1 * geom.out_w]);
         Ok(())
     })
 }

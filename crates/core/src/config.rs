@@ -265,8 +265,7 @@ impl FromStr for Config {
                 let (name, spec) = rest.split_once('=').ok_or_else(|| err("missing '='"))?;
                 let spec = spec.trim();
                 let (body, num) = spec.rsplit_once(" of ").ok_or_else(|| err("missing 'of N'"))?;
-                let num_algs: usize =
-                    num.trim().parse().map_err(|_| err("bad algorithm count"))?;
+                let num_algs: usize = num.trim().parse().map_err(|_| err("bad algorithm count"))?;
                 let mut toks = body.split_whitespace();
                 let first: usize = toks
                     .next()

@@ -161,11 +161,8 @@ impl World {
             None => 0.0,
             Some(e) => {
                 let wait = (e.ready_at - now).max(0.0);
-                self.mats[id.0] = Matrix::from_vec(
-                    self.mats[id.0].rows(),
-                    self.mats[id.0].cols(),
-                    e.data,
-                );
+                self.mats[id.0] =
+                    Matrix::from_vec(self.mats[id.0].rows(), self.mats[id.0].cols(), e.data);
                 self.versions[id.0] += 1;
                 self.lazy_pulls += 1;
                 wait + e.pull_secs
@@ -203,10 +200,7 @@ mod tests {
     fn lazy_pull_charges_wait_and_transfer() {
         let mut w = World::new();
         let id = w.alloc(Matrix::zeros(1, 2));
-        w.defer_copy_out(
-            id,
-            LazyEntry { data: vec![7.0, 8.0], ready_at: 5.0, pull_secs: 0.5 },
-        );
+        w.defer_copy_out(id, LazyEntry { data: vec![7.0, 8.0], ready_at: 5.0, pull_secs: 0.5 });
         assert!(w.has_pending_copy_out(id));
         // Consumer arrives at t=3: waits 2.0 for the kernel, then 0.5 transfer.
         let extra = w.ensure_host(id, 3.0);

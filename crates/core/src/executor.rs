@@ -194,9 +194,7 @@ impl Executor {
         let (out_w, out_h) = s.out_dims;
         let (gpu_rows, cpu_chunks, local_memory, local_size) = match s.placement {
             Placement::Cpu { chunks } => (0, chunks, false, 1),
-            Placement::OpenCl { local_memory, local_size } => {
-                (out_h, 0, local_memory, local_size)
-            }
+            Placement::OpenCl { local_memory, local_size } => (out_h, 0, local_memory, local_size),
             Placement::Split { gpu_eighths, local_memory, local_size, cpu_chunks } => {
                 ((out_h * gpu_eighths as usize) / 8, cpu_chunks, local_memory, local_size)
             }
@@ -354,8 +352,7 @@ impl Executor {
         for (k, &i) in inputs.iter().enumerate() {
             let inv = Rc::clone(&inv);
             let id = engine.add_gpu_task(GpuTaskClass::CopyIn, move |world: &mut World, ctx| {
-                let (buf, resident) =
-                    inv.borrow().in_bufs[k].expect("prepare ran before copy-in");
+                let (buf, resident) = inv.borrow().in_bufs[k].expect("prepare ran before copy-in");
                 if resident {
                     ctx.note_dedup_hit();
                     return Ok(GpuOutcome::Done { manager_secs: 1.0e-7 });
@@ -536,10 +533,7 @@ mod tests {
     fn gpu_placement_computes_and_copies_out() {
         let (mut w, a, b) = setup(8);
         let mut p = PlanBuilder::new();
-        p.stencil(
-            step(a, b, 8, Placement::OpenCl { local_memory: false, local_size: 16 }),
-            &[],
-        );
+        p.stencil(step(a, b, 8, Placement::OpenCl { local_memory: false, local_size: 16 }), &[]);
         p.mark_output(b);
         let mut ex = Executor::new(&MachineProfile::desktop());
         let rep = ex.run(p.build(), &mut w).unwrap();
@@ -624,10 +618,7 @@ mod tests {
     fn opencl_on_gpuless_machine_is_rejected() {
         let (mut w, a, b) = setup(4);
         let mut p = PlanBuilder::new();
-        p.stencil(
-            step(a, b, 4, Placement::OpenCl { local_memory: false, local_size: 16 }),
-            &[],
-        );
+        p.stencil(step(a, b, 4, Placement::OpenCl { local_memory: false, local_size: 16 }), &[]);
         let mut machine = MachineProfile::desktop();
         machine.gpu = None;
         let mut ex = Executor::new(&machine);
@@ -674,7 +665,7 @@ mod tests {
             }),
             native_only_body: false,
         });
-        let mut run_variant = |local_memory: bool| {
+        let run_variant = |local_memory: bool| {
             let mut w = World::new();
             let a = w.alloc(Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 11) as f64));
             let b = w.alloc(Matrix::zeros(n - 2, n - 2));

@@ -157,10 +157,7 @@ pub struct Plan {
 
 impl std::fmt::Debug for Plan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Plan")
-            .field("steps", &self.steps)
-            .field("outputs", &self.outputs)
-            .finish()
+        f.debug_struct("Plan").field("steps", &self.steps).field("outputs", &self.outputs).finish()
     }
 }
 
@@ -210,10 +207,7 @@ impl PlanBuilder {
     /// Panics if the output matrix is also an input (stencils never run in
     /// place) or a dependency id is out of range.
     pub fn stencil(&mut self, step: StencilStep, deps: &[StepId]) -> StepId {
-        assert!(
-            !step.inputs.contains(&step.output),
-            "stencil output must differ from its inputs"
-        );
+        assert!(!step.inputs.contains(&step.output), "stencil output must differ from its inputs");
         self.push(StepKind::Stencil(step), deps)
     }
 
@@ -331,9 +325,8 @@ pub fn placement_from_config(
     }
     let local_memory = choice == 2;
     let max_wg = machine.gpu.as_ref().map_or(1, |g| g.max_work_group);
-    let local_size = cfg
-        .tunable_or(&format!("{transform}.local_size"), 128)
-        .clamp(1, max_wg as i64) as usize;
+    let local_size =
+        cfg.tunable_or(&format!("{transform}.local_size"), 128).clamp(1, max_wg as i64) as usize;
     let ratio = cfg.tunable_or(&format!("{transform}.gpu_ratio"), 8).clamp(0, 8) as u8;
     match ratio {
         0 => Placement::Cpu { chunks },
@@ -350,11 +343,8 @@ pub fn cpu_chunks(cfg: &Config, machine: &MachineProfile, out_rows: usize) -> us
         return 1;
     }
     let split_rows = cfg.tunable_or("split_rows", 0);
-    let chunks = if split_rows > 0 {
-        out_rows.div_ceil(split_rows as usize)
-    } else {
-        machine.cpu.cores * 2
-    };
+    let chunks =
+        if split_rows > 0 { out_rows.div_ceil(split_rows as usize) } else { machine.cpu.cores * 2 };
     chunks.clamp(1, out_rows.max(1))
 }
 
@@ -452,12 +442,8 @@ mod tests {
     fn split_placement_is_always_eager() {
         let (a, b, c) = ids();
         let mut p = PlanBuilder::new();
-        let split = Placement::Split {
-            gpu_eighths: 6,
-            local_memory: false,
-            local_size: 64,
-            cpu_chunks: 2,
-        };
+        let split =
+            Placement::Split { gpu_eighths: 6, local_memory: false, local_size: 64, cpu_chunks: 2 };
         let s1 = p.stencil(stencil_step(a, b, split), &[]);
         p.stencil(stencil_step(b, c, GPU), &[s1]);
         let pol = analyze_movement(&p.build());

@@ -16,7 +16,9 @@ fn box_rule(bw: usize, bh: usize) -> StencilRule {
         name: "box_sum".into(),
         inputs: vec![StencilInput { index: 0, access: AccessPattern::Stencil { w: bw, h: bh } }],
         flops_per_output: (bw * bh) as f64,
-        body_c: "for (int j = 0; j < BH; j++) for (int i = 0; i < BW; i++) result += IN0(x+i, y+j);".into(),
+        body_c:
+            "for (int j = 0; j < BH; j++) for (int i = 0; i < BW; i++) result += IN0(x+i, y+j);"
+                .into(),
         elem: Arc::new(move |env, x, y| {
             let mut acc = 0.0;
             for j in 0..bh {

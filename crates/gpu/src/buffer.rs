@@ -96,11 +96,8 @@ impl BufferTable {
     /// # Errors
     /// Returns [`GpuError::UnknownBuffer`] if `id` is not live.
     pub fn free(&mut self, id: BufferId) -> Result<(), GpuError> {
-        let slot = self
-            .buffers
-            .get_mut(id.0)
-            .and_then(Option::take)
-            .ok_or(GpuError::UnknownBuffer(id))?;
+        let slot =
+            self.buffers.get_mut(id.0).and_then(Option::take).ok_or(GpuError::UnknownBuffer(id))?;
         self.bytes_allocated -= slot.len() * std::mem::size_of::<f64>();
         self.resident.retain(|_, v| *v != id);
         Ok(())
@@ -111,10 +108,7 @@ impl BufferTable {
     /// # Errors
     /// Returns [`GpuError::UnknownBuffer`] if `id` is not live.
     pub fn get(&self, id: BufferId) -> Result<&DeviceBuffer, GpuError> {
-        self.buffers
-            .get(id.0)
-            .and_then(Option::as_ref)
-            .ok_or(GpuError::UnknownBuffer(id))
+        self.buffers.get(id.0).and_then(Option::as_ref).ok_or(GpuError::UnknownBuffer(id))
     }
 
     /// Exclusive access to a buffer.
@@ -122,10 +116,7 @@ impl BufferTable {
     /// # Errors
     /// Returns [`GpuError::UnknownBuffer`] if `id` is not live.
     pub fn get_mut(&mut self, id: BufferId) -> Result<&mut DeviceBuffer, GpuError> {
-        self.buffers
-            .get_mut(id.0)
-            .and_then(Option::as_mut)
-            .ok_or(GpuError::UnknownBuffer(id))
+        self.buffers.get_mut(id.0).and_then(Option::as_mut).ok_or(GpuError::UnknownBuffer(id))
     }
 
     /// Copy host data into a buffer (the data part of a copy-in).

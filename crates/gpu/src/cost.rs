@@ -109,7 +109,11 @@ impl KernelWork {
     #[must_use]
     pub fn exec_secs(&self, gpu: &GpuProfile) -> f64 {
         let util = if gpu.cpu_backed {
-            if self.vector_efficiency > 0.0 { self.vector_efficiency } else { 1.0 }
+            if self.vector_efficiency > 0.0 {
+                self.vector_efficiency
+            } else {
+                1.0
+            }
         } else {
             self.lane_utilization(gpu.warp)
         };
@@ -127,7 +131,8 @@ impl KernelWork {
             // does not overlap with compute.
             t += self.groups * gpu.barrier_overhead;
             if gpu.cpu_backed {
-                t += self.local_fill_bytes / gpu.global_bw + self.local_traffic_bytes / gpu.local_bw;
+                t +=
+                    self.local_fill_bytes / gpu.global_bw + self.local_traffic_bytes / gpu.local_bw;
             }
         }
         t

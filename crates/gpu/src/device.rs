@@ -188,7 +188,12 @@ impl Device {
     ///
     /// # Errors
     /// Buffer lookup or size mismatch.
-    pub fn enqueue_write(&mut self, now: f64, id: BufferId, host: &[f64]) -> Result<Event, GpuError> {
+    pub fn enqueue_write(
+        &mut self,
+        now: f64,
+        id: BufferId,
+        host: &[f64],
+    ) -> Result<Event, GpuError> {
         self.buffers.write(id, host)?;
         let bytes = host.len() as f64 * 8.0;
         let secs = cost::transfer_secs(&self.profile, bytes);
@@ -268,15 +273,13 @@ mod tests {
 
     /// A kernel body that doubles every element of its single buffer arg.
     fn double_body() -> Arc<dyn KernelBody> {
-        Arc::new(
-            |bufs: &mut BufferTable, launch: &KernelLaunch| -> Result<(), GpuError> {
-                let buf = bufs.get_mut(launch.buffers[0])?;
-                for v in buf.data_mut() {
-                    *v *= 2.0;
-                }
-                Ok(())
-            },
-        )
+        Arc::new(|bufs: &mut BufferTable, launch: &KernelLaunch| -> Result<(), GpuError> {
+            let buf = bufs.get_mut(launch.buffers[0])?;
+            for v in buf.data_mut() {
+                *v *= 2.0;
+            }
+            Ok(())
+        })
     }
 
     fn launch(handle: KernelHandle, buf: BufferId, n: usize) -> KernelLaunch {
@@ -320,10 +323,7 @@ mod tests {
         let buf = d.alloc_buffer(1);
         let mut l = launch(h, buf, 1);
         l.work.local_size = 100_000;
-        assert!(matches!(
-            d.enqueue_kernel(0.0, &l),
-            Err(GpuError::WorkGroupTooLarge { .. })
-        ));
+        assert!(matches!(d.enqueue_kernel(0.0, &l), Err(GpuError::WorkGroupTooLarge { .. })));
     }
 
     #[test]

@@ -322,7 +322,10 @@ mod tests {
         let d_ratio = d.gpu.as_ref().unwrap().flops / d.cpu_flops();
         let l_ratio = l.gpu.as_ref().unwrap().flops / l.cpu_flops();
         assert!(d_ratio > 20.0, "desktop GPU:CPU ratio {d_ratio}");
-        assert!(l_ratio < d_ratio / 2.0, "laptop ratio {l_ratio} should be far below desktop {d_ratio}");
+        assert!(
+            l_ratio < d_ratio / 2.0,
+            "laptop ratio {l_ratio} should be far below desktop {d_ratio}"
+        );
     }
 
     #[test]

@@ -57,9 +57,10 @@ struct WorkerState {
 
 impl WorkerState {
     fn min_arrival(&self) -> Option<f64> {
-        self.deque.iter().map(|i| i.arrival).fold(None, |acc, a| {
-            Some(acc.map_or(a, |m: f64| m.min(a)))
-        })
+        self.deque
+            .iter()
+            .map(|i| i.arrival)
+            .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.min(a))))
     }
 
     /// Pop the topmost item that has arrived by `now`.
@@ -83,9 +84,10 @@ struct ManagerState {
 
 impl ManagerState {
     fn min_arrival(&self) -> Option<f64> {
-        self.fifo.iter().map(|i| i.arrival).fold(None, |acc, a| {
-            Some(acc.map_or(a, |m: f64| m.min(a)))
-        })
+        self.fifo
+            .iter()
+            .map(|i| i.arrival)
+            .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.min(a))))
     }
 
     /// Pop the frontmost item that has arrived by `now`.
@@ -304,11 +306,8 @@ impl<S> Engine<S> {
     }
 
     fn act_steal(&mut self, i: usize, state: &mut S) -> Result<(), RtError> {
-        let global_min = self
-            .workers
-            .iter()
-            .filter_map(WorkerState::min_arrival)
-            .fold(f64::INFINITY, f64::min);
+        let global_min =
+            self.workers.iter().filter_map(WorkerState::min_arrival).fold(f64::INFINITY, f64::min);
         let mut now = self.workers[i].free_at.max(global_min);
         let n = self.workers.len();
         let max_attempts = MAX_STEAL_ATTEMPTS_FACTOR * n.max(2);

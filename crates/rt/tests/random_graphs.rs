@@ -25,10 +25,7 @@ struct GraphSpec {
 
 fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
     (2usize..40).prop_flat_map(|n| {
-        let deps = proptest::collection::vec(
-            proptest::collection::vec(0usize..n.max(1), 0..4),
-            n,
-        );
+        let deps = proptest::collection::vec(proptest::collection::vec(0usize..n.max(1), 0..4), n);
         let work = proptest::collection::vec(1u32..1_000_000, n);
         (deps, work, 0usize..3, 1usize..6, any::<u64>()).prop_map(
             move |(raw_deps, work, machine_idx, workers, seed)| {
@@ -37,8 +34,7 @@ fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
                     .into_iter()
                     .enumerate()
                     .map(|(i, ds)| {
-                        let mut ds: Vec<usize> =
-                            ds.into_iter().filter(|&d| d < i).collect();
+                        let mut ds: Vec<usize> = ds.into_iter().filter(|&d| d < i).collect();
                         ds.sort_unstable();
                         ds.dedup();
                         ds

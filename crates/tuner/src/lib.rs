@@ -139,7 +139,11 @@ impl std::fmt::Debug for Autotuner<'_> {
 impl<'a> Autotuner<'a> {
     /// New tuner with the given search effort.
     #[must_use]
-    pub fn new(benchmark: &'a dyn Benchmark, machine: &MachineProfile, settings: TunerSettings) -> Self {
+    pub fn new(
+        benchmark: &'a dyn Benchmark,
+        machine: &MachineProfile,
+        settings: TunerSettings,
+    ) -> Self {
         let mut executor = Executor::new(machine);
         executor.set_process_restarts(settings.model_process_restarts);
         Autotuner {
@@ -253,8 +257,7 @@ impl<'a> Autotuner<'a> {
             sized = self.benchmark.resized(size)?;
             &*sized
         };
-        let petal_apps::Instance { mut world, plan, check } =
-            bench.instantiate(&self.machine, cfg);
+        let petal_apps::Instance { mut world, plan, check } = bench.instantiate(&self.machine, cfg);
         let report = self.executor.run(plan, &mut world).ok()?;
         self.stats.trials += 1;
         self.stats.tuning_secs += report.total_secs();
@@ -307,10 +310,7 @@ mod tests {
         // large win.
         let bench = BlackScholes::new(100_000);
         let machine = MachineProfile::desktop();
-        let default_time = bench
-            .run_default(&machine)
-            .expect("default runs")
-            .virtual_time_secs();
+        let default_time = bench.run_default(&machine).expect("default runs").virtual_time_secs();
         let mut tuner = Autotuner::new(&bench, &machine, TunerSettings::smoke());
         let tuned = tuner.run();
         assert!(

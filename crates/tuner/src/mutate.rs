@@ -59,8 +59,8 @@ pub fn mutate(
     // pick the selector family and the tunable family with equal weight
     // (rather than uniformly over all sites, which would drown the few
     // selectors among the many tunables).
-    let pick_selector = !selector_names.is_empty()
-        && (tunable_names.is_empty() || rng.gen_bool(0.5));
+    let pick_selector =
+        !selector_names.is_empty() && (tunable_names.is_empty() || rng.gen_bool(0.5));
     if pick_selector {
         let name = &selector_names[rng.gen_range(0..selector_names.len())];
         let current = out.selector(name).expect("iterated name exists").clone();
@@ -143,8 +143,7 @@ mod tests {
     fn lognormal_is_centered_and_symmetricish() {
         let mut r = rng();
         let samples: Vec<f64> = (0..4000).map(|_| lognormal_scale(&mut r)).collect();
-        let geo_mean =
-            (samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64).exp();
+        let geo_mean = (samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64).exp();
         assert!((geo_mean - 1.0).abs() < 0.1, "geometric mean {geo_mean}");
         let halved = samples.iter().filter(|&&x| x < 0.55).count();
         let doubled = samples.iter().filter(|&&x| x > 1.8).count();

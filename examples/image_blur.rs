@@ -10,7 +10,7 @@ use petal::prelude::*;
 use petal_apps::convolution::{ConvMapping, SeparableConvolution};
 
 fn main() -> Result<(), Error> {
-    let width = 320;
+    let width = if petal_apps::workload::smoke_mode() { 64 } else { 320 };
     let kernel = 9;
     let image = SeparableConvolution::new(width, kernel);
     println!("Blurring a {width}x{width} image with a {kernel}-tap separable kernel\n");

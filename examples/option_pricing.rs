@@ -10,8 +10,9 @@ use petal::prelude::*;
 use petal_apps::blackscholes::BlackScholes;
 
 fn main() -> Result<(), Error> {
-    let book = BlackScholes::new(200_000);
-    println!("Pricing 200,000 European calls; sweeping the GPU/CPU split\n");
+    let n = if petal_apps::workload::smoke_mode() { 10_000 } else { 200_000 };
+    let book = BlackScholes::new(n);
+    println!("Pricing {n} European calls; sweeping the GPU/CPU split\n");
 
     for machine in MachineProfile::all() {
         println!("--- {} ---", machine.codename);

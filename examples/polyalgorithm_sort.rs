@@ -13,14 +13,14 @@ use petal::prelude::*;
 use petal_apps::sort::Sort;
 
 fn main() -> Result<(), Error> {
-    let n = 1 << 17;
+    let n = if petal_apps::workload::smoke_mode() { 1 << 12 } else { 1 << 17 };
     let sort = Sort::new(n);
     println!("Sorting {n} doubles with different poly-algorithms\n");
 
     for machine in MachineProfile::all() {
         println!("--- {} ---", machine.codename);
         let program = sort.program(&machine);
-        let mut run = |label: &str, sel: Selector| -> Result<f64, Error> {
+        let run = |label: &str, sel: Selector| -> Result<f64, Error> {
             let mut cfg = program.default_config(&machine);
             cfg.set_selector("sort", sel);
             let t = sort.run_with_config(&machine, &cfg)?.virtual_time_secs();

@@ -13,7 +13,8 @@ fn main() -> Result<(), Error> {
     // The paper's driving example (Fig. 1): separable convolution, which
     // can run as one 2D pass or two 1D passes, on the CPU backend or as
     // generated OpenCL kernels with or without scratchpad staging.
-    let bench = SeparableConvolution::new(256, 7);
+    let width = if petal_apps::workload::smoke_mode() { 48 } else { 256 };
+    let bench = SeparableConvolution::new(width, 7);
 
     for machine in MachineProfile::all() {
         // Untuned baseline: the first algorithm everywhere, CPU backend.

@@ -1,0 +1,73 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive length bounds for a generated collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy producing a `Vec` whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = vec(0usize..10, 2..5);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = vec(0usize..10, 7);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset the property tests in this workspace use:
+//! the `proptest!` macro (with an optional `#![proptest_config(..)]` inner
+//! attribute), `ProptestConfig::with_cases`, range and tuple strategies,
+//! `any::<T>()`, `prop_map`/`prop_flat_map`, `collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * **Deterministic case generation.** Inputs for case `i` of test `t`
+//!   are a pure function of `(t, i)` — no OS entropy, no persistence
+//!   files — so failures reproduce exactly across runs and machines.
+//! * **No shrinking.** On failure the harness reports the case index and
+//!   seed, then re-raises the original panic. With deterministic cases
+//!   that is enough to replay under a debugger.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// `prop_assert!` — in this shim a plain `assert!`; the surrounding
+/// harness attributes the panic to a case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// The `proptest!` test-harness macro.
+///
+/// Each contained `#[test] fn name(arg in strategy, ..) { .. }` expands to
+/// an ordinary test that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm (must precede the catch-all).
+    (@harness ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut runner_rng = $crate::test_runner::rng_from_seed(seed);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest shim: {} failed at case {case}/{} (seed {seed:#018x}); \
+                             no shrinking — replay is deterministic",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @harness ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @harness (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}

@@ -1,0 +1,176 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically produces a value from an `StdRng`.
+//! Unlike real proptest there is no value tree and no simplification; a
+//! strategy is just a seeded generator, which is all the workspace's
+//! property tests rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, Standard};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy yielding any value of `T` (uniform over the representation).
+pub struct Any<T>(PhantomData<T>);
+
+#[must_use]
+pub fn any<T: Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F)(
+    A, B, C, D, E, F, G
+)(A, B, C, D, E, F, G, H));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (1usize..5).prop_flat_map(|n| (0usize..n, Just(n)).prop_map(|(i, n)| (i, n)));
+        for _ in 0..200 {
+            let (i, n) = s.generate(&mut r);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = (0u64..1_000_000).prop_map(|x| x * 2);
+        let a: Vec<u64> = (0..32).map(|_| s.generate(&mut rng())).collect();
+        let b: Vec<u64> = (0..32).map(|_| s.generate(&mut rng())).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! Case scheduling: per-test, per-case deterministic seeds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of proptest's config: only the case count is honored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default; tests that need fewer cases say so.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Seed for case `case` of the test named `name`: FNV-1a over the name,
+/// mixed with the case index so consecutive cases are uncorrelated.
+#[must_use]
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Build the per-case generator (used by the `proptest!` expansion).
+#[must_use]
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_deterministic_and_distinct() {
+        assert_eq!(case_seed("t", 0), case_seed("t", 0));
+        assert_ne!(case_seed("t", 0), case_seed("t", 1));
+        assert_ne!(case_seed("t", 0), case_seed("u", 0));
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this workspace crate
+//! provides the exact API subset the tree uses: `rand::rngs::StdRng`,
+//! `rand::SeedableRng::seed_from_u64`, and `rand::Rng::{gen, gen_range,
+//! gen_bool}`. The generator is xoshiro256++ seeded through SplitMix64;
+//! every sequence is a pure function of the seed, which is what keeps the
+//! discrete-event simulation reproducible across runs and machines.
+//!
+//! Distribution details (modulo-based integer ranges, 53-bit float
+//! mantissa fill) intentionally favor simplicity over the bias guarantees
+//! of the real crate; callers here only need determinism and coarse
+//! uniformity.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Core entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` (53-bit resolution).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map 64 random bits to a uniform `f32` in `[0, 1)`. Built from 24 bits
+/// so the product is exact in f32 — casting `unit_f64` down would round
+/// values near 1 up to exactly 1.0 and break the half-open contract.
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Closed-interval variants for `RangeInclusive` sampling: dividing by
+/// `2^n - 1` makes the upper endpoint reachable.
+#[inline]
+fn unit_f64_inclusive(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+#[inline]
+fn unit_f32_inclusive(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / ((1u32 << 24) - 1) as f32)
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty, $uwide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Two's-complement subtraction yields the true unsigned
+                // span even when it exceeds the signed type's max; widen
+                // only after reinterpreting as unsigned so no sign
+                // extension sneaks in.
+                let span =
+                    ((self.end as $wide).wrapping_sub(self.start as $wide) as $uwide) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as $wide;
+                (self.start as $wide).wrapping_add(offset) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as $uwide) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as $wide;
+                (lo as $wide).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 => u64, u64, u16 => u64, u64, u32 => u64, u64, u64 => u64, u64, usize => u64, u64,
+    i8 => i64, u64, i16 => i64, u64, i32 => i64, u64, i64 => i64, u64, isize => i64, u64
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty => $unit:ident, $unit_incl:ident),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = $unit(rng.next_u64());
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = $unit_incl(rng.next_u64());
+                // The closed-interval unit makes `hi` reachable; clamp
+                // guards the float rounding of lo + (hi-lo)*1.0.
+                (lo + (hi - lo) * unit).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32 => unit_f32, unit_f32_inclusive, f64 => unit_f64, unit_f64_inclusive);
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirrors the real crate's `Rng` extension trait).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        // SplitMix64 expansion must never hand xoshiro an all-zero state.
+        let mut r = StdRng::seed_from_u64(0);
+        let xs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn gen_range_respects_integer_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = r.gen_range(0u64..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_extreme_signed_spans() {
+        let mut r = StdRng::seed_from_u64(17);
+        for _ in 0..2000 {
+            // Spans wider than i64::MAX must not sign-extend into junk.
+            let a = r.gen_range(-1i64..i64::MAX);
+            assert!((-1..i64::MAX).contains(&a));
+            // The full inclusive domain must not overflow.
+            let _ = r.gen_range(i64::MIN..=i64::MAX);
+            let b = r.gen_range(i64::MIN..=i64::MIN + 3);
+            assert!((i64::MIN..=i64::MIN + 3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_ranges_cover_bounds() {
+        let mut r = StdRng::seed_from_u64(23);
+        for _ in 0..2000 {
+            let x = r.gen_range(-1.0f64..=2.0);
+            assert!((-1.0..=2.0).contains(&x));
+            // Degenerate interval returns its single point exactly.
+            assert_eq!(r.gen_range(0.75f64..=0.75), 0.75);
+        }
+        // The closed-interval unit makes the endpoint reachable in
+        // principle (unit == 1.0 when all 53 mantissa bits are set).
+        assert_eq!(super::unit_f64_inclusive(u64::MAX), 1.0);
+        assert_eq!(super::unit_f32_inclusive(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn gen_range_hits_both_inclusive_endpoints() {
+        let mut r = StdRng::seed_from_u64(11);
+        let draws: Vec<i64> = (0..500).map(|_| r.gen_range(0i64..=3)).collect();
+        for v in 0..=3 {
+            assert!(draws.contains(&v), "endpoint {v} never drawn");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_float_bounds() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..2000 {
+            let x: f64 = r.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+        let mut r = StdRng::seed_from_u64(5);
+        assert_eq!((0..100).filter(|_| r.gen_bool(0.0)).count(), 0);
+        let mut r = StdRng::seed_from_u64(5);
+        assert_eq!((0..100).filter(|_| r.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn gen_produces_plausible_uniforms() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "unit mean {mean}");
+    }
+}

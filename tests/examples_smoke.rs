@@ -1,0 +1,46 @@
+//! Smoke test: every example must build and exit 0 on a smoke-sized input.
+//!
+//! Each test shells back into cargo (`cargo run --example <name>`) with
+//! `PETAL_SMOKE=1`, which the examples honor by shrinking their inputs.
+//! The example binaries are already compiled by the time `cargo test`
+//! executes this file, so the nested invocation only links/runs; the
+//! `--offline` flag keeps the nested cargo from ever touching the network.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--offline", "--example", name])
+        .env("PETAL_SMOKE", "1")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(!output.stdout.is_empty(), "example {name} succeeded but printed nothing");
+}
+
+#[test]
+fn quickstart_builds_and_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn image_blur_builds_and_runs() {
+    run_example("image_blur");
+}
+
+#[test]
+fn option_pricing_builds_and_runs() {
+    run_example("option_pricing");
+}
+
+#[test]
+fn polyalgorithm_sort_builds_and_runs() {
+    run_example("polyalgorithm_sort");
+}

@@ -36,10 +36,8 @@ fn strassen_laptop_style_config_hurts_desktop() {
         .run_with_config(&desktop, &desktop_tuned.config)
         .expect("native runs")
         .virtual_time_secs();
-    let migrated = bench
-        .run_with_config(&desktop, &laptop_style)
-        .expect("migrated runs")
-        .virtual_time_secs();
+    let migrated =
+        bench.run_with_config(&desktop, &laptop_style).expect("migrated runs").virtual_time_secs();
     let penalty = migrated / native;
     assert!(penalty > 1.5, "laptop-style config on desktop should be slow: {penalty:.2}x");
 

@@ -78,18 +78,15 @@ fn machines_disagree_on_the_best_configuration() {
     let ranked: Vec<Vec<&str>> = MachineProfile::all()
         .iter()
         .map(|m| {
-            let mut times: Vec<(&str, f64)> =
-                petal_apps::convolution::ConvMapping::all()
-                    .into_iter()
-                    .map(|mp| {
-                        let cfg = bench.mapping_config(m, mp);
-                        let t = bench
-                            .run_with_config(m, &cfg)
-                            .expect("mapping runs")
-                            .virtual_time_secs();
-                        (mp.label(), t)
-                    })
-                    .collect();
+            let mut times: Vec<(&str, f64)> = petal_apps::convolution::ConvMapping::all()
+                .into_iter()
+                .map(|mp| {
+                    let cfg = bench.mapping_config(m, mp);
+                    let t =
+                        bench.run_with_config(m, &cfg).expect("mapping runs").virtual_time_secs();
+                    (mp.label(), t)
+                })
+                .collect();
             times.sort_by(|a, b| a.1.total_cmp(&b.1));
             times.into_iter().map(|(l, _)| l).collect()
         })
