@@ -9,13 +9,19 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+echo "== cargo clippy --all-targets -- -D warnings (offline)"
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "== cargo build --release (offline)"
 cargo build --release --offline
 
 echo "== cargo test -q (offline)"
 cargo test -q --offline
 
-echo "== cargo bench --no-run (offline, benches must keep compiling)"
-cargo bench --offline --no-run
+echo "== smoke-mode criterion suites (PETAL_SMOKE=1, reduced sizes/samples)"
+PETAL_SMOKE=1 cargo bench --offline
+
+echo "== bench_baseline --check (virtual-time reference numbers)"
+cargo run --release --offline -p petal_bench --bin bench_baseline -- --check
 
 echo "CI green"

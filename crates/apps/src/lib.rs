@@ -30,6 +30,11 @@ use petal_core::executor::{ExecReport, Executor};
 use petal_core::{Config, Error, Plan, Program, World};
 use petal_gpu::profile::MachineProfile;
 
+/// Post-run verification closure against the reference implementation.
+/// `Send` so a whole instance can be built and verified on an
+/// evaluation-farm worker thread.
+pub type CheckFn = Box<dyn Fn(&World) -> Result<(), String> + Send>;
+
 /// One runnable problem instance: the world holding inputs/outputs, the
 /// schedule for the chosen configuration, and a correctness check to run
 /// after execution.
@@ -39,7 +44,7 @@ pub struct Instance {
     /// The schedule for this configuration.
     pub plan: Plan,
     /// Post-run verification against the reference implementation.
-    pub check: Box<dyn Fn(&World) -> Result<(), String>>,
+    pub check: CheckFn,
 }
 
 impl std::fmt::Debug for Instance {
@@ -50,7 +55,12 @@ impl std::fmt::Debug for Instance {
 
 /// A tunable benchmark: everything the autotuner and the figure harnesses
 /// need.
-pub trait Benchmark {
+///
+/// `Send + Sync` is part of the contract: benchmarks are plain problem
+/// descriptions (sizes, seeds, accuracy targets) that the evaluation farm
+/// shares by reference across its worker threads, each of which calls
+/// [`Benchmark::instantiate`] to build an independent trial.
+pub trait Benchmark: Send + Sync {
     /// Display name (matches the paper's benchmark tables).
     fn name(&self) -> &str;
 
@@ -116,8 +126,11 @@ mod tests {
 
     #[test]
     fn every_benchmark_runs_with_defaults_on_every_machine() {
+        // Including the iGPU/ManyCore extension profiles: default configs
+        // must be valid on machines with a shared-memory device and on
+        // machines with no OpenCL runtime at all.
         for b in all_benchmarks() {
-            for m in MachineProfile::all() {
+            for m in MachineProfile::extended() {
                 let r = b.run_default(&m);
                 assert!(r.is_ok(), "{} on {}: {:?}", b.name(), m.codename, r.err());
             }

@@ -268,7 +268,7 @@ fn merge_step(w: &mut World, ctx: &mut CpuCtx<World>, params: &SortParams, ways:
         for (r, run) in runs.iter().enumerate() {
             if cursors[r] < run.len() {
                 let v = run[cursors[r]];
-                if best.is_none_or(|(_, bv)| v < bv) {
+                if best.map_or(true, |(_, bv)| v < bv) {
                     best = Some((r, v));
                 }
             }

@@ -144,7 +144,8 @@ impl Tridiagonal {
                     return even.at(x / 2, 0);
                 }
                 let left = bands.at(x, 0) * even.at((x - 1) / 2, 0);
-                let right = if x + 1 < m { bands.at(x, 2) * even.at((x + 1) / 2, 0) } else { 0.0 };
+                let right =
+                    if x + 1 < m { bands.at(x, 2) * even.at(x.div_ceil(2), 0) } else { 0.0 };
                 (bands.at(x, 3) - left - right) / bands.at(x, 1)
             }),
             native_only_body: false,

@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use petal_apps::convolution::{ConvMapping, SeparableConvolution};
 use petal_apps::Benchmark;
+use petal_bench::{bench_sample_size, bench_size};
 use petal_gpu::compile::CompileCache;
 use petal_gpu::profile::MachineProfile;
 use std::hint::black_box;
@@ -13,7 +14,7 @@ use std::hint::black_box;
 fn bench_local_memory_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_local_memory");
     let machine = MachineProfile::desktop();
-    let bench = SeparableConvolution::new(128, 9);
+    let bench = SeparableConvolution::new(bench_size(128, 48), 9);
     for (label, mapping) in [
         ("local_mem", ConvMapping::SeparableLocalMem),
         ("global_only", ConvMapping::SeparableNoLocal),
@@ -43,7 +44,7 @@ fn bench_compile_cache(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(bench_sample_size());
     targets = bench_local_memory_ablation, bench_compile_cache
 }
 criterion_main!(benches);

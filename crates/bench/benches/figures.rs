@@ -7,13 +7,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use petal_apps::convolution::{ConvMapping, SeparableConvolution};
 use petal_apps::{all_benchmarks, Benchmark};
+use petal_bench::{bench_sample_size, bench_size};
 use petal_gpu::profile::MachineProfile;
 use std::hint::black_box;
 
 fn bench_fig2_mappings(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_conv_mappings");
     let machine = MachineProfile::desktop();
-    let bench = SeparableConvolution::new(128, 7);
+    let bench = SeparableConvolution::new(bench_size(128, 48), 7);
     for mapping in ConvMapping::all() {
         let cfg = bench.mapping_config(&machine, mapping);
         g.bench_function(BenchmarkId::new("desktop", mapping.label()), |bch| {
@@ -25,10 +26,11 @@ fn bench_fig2_mappings(c: &mut Criterion) {
 
 fn bench_fig7_default_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_default_runs");
-    g.sample_size(10);
+    g.sample_size(bench_sample_size());
     for bench in all_benchmarks() {
         // Shrink to bench-friendly sizes where the benchmark allows it.
-        let small = bench.resized(bench.input_size().min(4096)).unwrap_or(bench);
+        let target = bench_size(4096, 1024) as u64;
+        let small = bench.resized(bench.input_size().min(target)).unwrap_or(bench);
         for machine in [MachineProfile::desktop(), MachineProfile::server()] {
             let cfg = small.program(&machine).default_config(&machine);
             g.bench_function(
@@ -44,7 +46,7 @@ fn bench_fig7_default_runs(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(bench_sample_size());
     targets = bench_fig2_mappings, bench_fig7_default_runs
 }
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! figure binaries report virtual time).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petal_bench::{bench_sample_size, bench_size};
 use petal_blas::gemm::{blocked_gemm, lapack_gemm, naive_gemm, transposed_gemm};
 use petal_blas::tridiag::{cyclic_reduction_solve, diagonally_dominant_system, thomas_solve};
 use petal_blas::Matrix;
@@ -18,7 +19,7 @@ fn sample(n: usize, seed: usize) -> Matrix {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
-    let n = 96;
+    let n = bench_size(96, 32);
     let a = sample(n, 1);
     let b = sample(n, 2);
     g.bench_function(BenchmarkId::new("naive", n), |bch| {
@@ -38,7 +39,7 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_tridiag(c: &mut Criterion) {
     let mut g = c.benchmark_group("tridiag");
-    for n in [1 << 10, 1 << 14] {
+    for n in [1 << 10, bench_size(1 << 14, 1 << 11)] {
         let sys = diagonally_dominant_system(n, 3);
         g.bench_with_input(BenchmarkId::new("thomas", n), &sys, |bch, s| {
             bch.iter(|| thomas_solve(black_box(s)));
@@ -54,7 +55,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     // Scheduling throughput: how fast the virtual-time engine retires
     // dependent task graphs (fan-out/fan-in diamonds).
-    for tasks in [256usize, 2048] {
+    for tasks in [256usize, bench_size(2048, 512)] {
         g.bench_function(BenchmarkId::new("diamond", tasks), |bch| {
             bch.iter(|| {
                 let m = MachineProfile::desktop();
@@ -86,7 +87,7 @@ fn bench_engine(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(bench_sample_size());
     targets = bench_gemm, bench_tridiag, bench_engine
 }
 criterion_main!(benches);

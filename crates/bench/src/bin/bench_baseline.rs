@@ -1,0 +1,146 @@
+//! Reference-number baseline for `crates/bench`.
+//!
+//! Runs a fixed, deterministic set of simulator workloads and reports, per
+//! entry, the **virtual** seconds (a pure function of the cost model —
+//! identical on every host) and the **host** milliseconds (meaningful only
+//! on the pinned machine that generated the committed baseline).
+//!
+//! Modes:
+//!
+//! * no args — print the baseline JSON to stdout;
+//! * `--write` — regenerate `BENCH_baseline.json` at the repo root (do
+//!   this, and commit the diff, in any PR that intentionally changes the
+//!   cost model or the simulator's hot paths);
+//! * `--check` — recompute and compare virtual seconds against the
+//!   committed file (relative tolerance 1e-6); host times are reported but
+//!   never asserted. Exits nonzero on drift, making cost-model changes
+//!   conscious instead of accidental.
+
+use petal_apps::convolution::{ConvMapping, SeparableConvolution};
+use petal_apps::{all_benchmarks, Benchmark};
+use petal_gpu::profile::MachineProfile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Entry {
+    key: String,
+    virtual_secs: f64,
+    host_ms: f64,
+}
+
+fn measure(bench: &dyn Benchmark, machine: &MachineProfile, key: String) -> Entry {
+    let cfg = bench.program(machine).default_config(machine);
+    let t0 = Instant::now();
+    let report = bench.run_with_config(machine, &cfg).expect("baseline workload runs");
+    Entry {
+        key,
+        virtual_secs: report.virtual_time_secs(),
+        host_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn entries() -> Vec<Entry> {
+    let mut out = Vec::new();
+    // Default-config runs of every benchmark on the two machines whose
+    // balance differs most (discrete GPU vs. CPU-backed OpenCL).
+    for machine in [MachineProfile::desktop(), MachineProfile::server()] {
+        for bench in all_benchmarks() {
+            let small = bench.resized(bench.input_size().min(4096)).unwrap_or(bench);
+            let key = format!("{}/{}", machine.codename, small.name().replace(' ', "_"));
+            out.push(measure(&*small, &machine, key));
+        }
+    }
+    // The four pinned Fig. 2 convolution mappings on the Desktop.
+    let machine = MachineProfile::desktop();
+    let bench = SeparableConvolution::new(128, 7);
+    for mapping in ConvMapping::all() {
+        let cfg = bench.mapping_config(&machine, mapping);
+        let t0 = Instant::now();
+        let report = bench.run_with_config(&machine, &cfg).expect("mapping runs");
+        out.push(Entry {
+            key: format!("Desktop/fig2_{}", mapping.label().replace(' ', "_")),
+            virtual_secs: report.virtual_time_secs(),
+            host_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    out
+}
+
+fn render(entries: &[Entry]) -> String {
+    let mut s = String::from("{\n  \"comment\": \"reference numbers from crates/bench; virtual_secs is host-independent, host_ms is from the pinned baseline machine\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"key\": \"{}\", \"virtual_secs\": {:.9e}, \"host_ms\": {:.3}}}{}",
+            e.key,
+            e.virtual_secs,
+            e.host_ms,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse the committed baseline's `(key, virtual_secs)` pairs (flat format
+/// written by [`render`]; no JSON dependency available offline).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(kstart) = line.find("\"key\": \"") else { continue };
+        let rest = &line[kstart + 8..];
+        let Some(kend) = rest.find('"') else { continue };
+        let key = rest[..kend].to_owned();
+        let Some(vstart) = line.find("\"virtual_secs\": ") else { continue };
+        let vrest = &line[vstart + 16..];
+        let vend = vrest.find([',', '}']).unwrap_or(vrest.len());
+        let Ok(v) = vrest[..vend].trim().parse::<f64>() else { continue };
+        out.push((key, v));
+    }
+    out
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    // crates/bench/src/bin -> repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    let entries = entries();
+    let rendered = render(&entries);
+    match mode.as_deref() {
+        Some("--write") => {
+            std::fs::write(baseline_path(), &rendered).expect("write BENCH_baseline.json");
+            println!("wrote {} entries to BENCH_baseline.json", entries.len());
+        }
+        Some("--check") => {
+            let committed =
+                std::fs::read_to_string(baseline_path()).expect("BENCH_baseline.json present");
+            let baseline = parse_baseline(&committed);
+            assert_eq!(baseline.len(), entries.len(), "entry count drifted; rerun with --write");
+            let mut drift = 0;
+            for ((key, want), got) in baseline.iter().zip(&entries) {
+                assert_eq!(key, &got.key, "entry order drifted; rerun with --write");
+                let rel = (got.virtual_secs - want).abs() / want.abs().max(1e-300);
+                let ok = rel <= 1e-6;
+                if !ok {
+                    drift += 1;
+                }
+                println!(
+                    "{} {key}: virtual {want:.6e} -> {:.6e} (host {:.2} ms)",
+                    if ok { "ok  " } else { "DRIFT" },
+                    got.virtual_secs,
+                    got.host_ms
+                );
+            }
+            assert!(
+                drift == 0,
+                "{drift} virtual-time baselines drifted; if intentional, \
+                 rerun `bench_baseline --write` and commit the diff"
+            );
+            println!("baseline check passed ({} entries)", entries.len());
+        }
+        _ => print!("{rendered}"),
+    }
+}

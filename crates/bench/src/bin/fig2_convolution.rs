@@ -17,13 +17,15 @@ fn main() {
     let widths = [22, 12, 12, 12, 12, 12];
     let settings = TunerSettings {
         seed: 2,
-        trials_per_round: 18,
-        population: 4,
+        trials_per_round: 48,
+        population: 5,
         size_schedule: vec![0.25, 1.0],
         small_size_trial_fraction: 0.5,
         model_process_restarts: false,
+        farm: petal_farm::FarmSettings::host_parallel(),
+        kick_after: 1,
+        kick_strength: 3,
     };
-    let mut deviations = Vec::new();
     for machine in MachineProfile::all() {
         println!("--- {} ---", machine.codename);
         let mut header = vec!["Kernel width".to_owned()];
@@ -46,27 +48,20 @@ fn main() {
             let tuned = Autotuner::new(&bench, &machine, settings.clone()).run();
             cells.push(format!("{:.6}", tuned.time_secs));
             println!("{}", row(&cells, &widths));
-            // Paper claim: the autotuner matches the best pinned mapping.
-            // The evolutionary search currently gets stuck in a local
-            // optimum at large kernel widths (its admit-only-if-better
-            // rule cannot cross fitness valleys at these small trial
-            // budgets), so the deviation is reported rather than fatal;
-            // ROADMAP's "tuner convergence tests" item tracks closing it.
-            if tuned.time_secs > best_pinned * 1.05 {
-                deviations.push((machine.codename.clone(), k, tuned.time_secs / best_pinned));
-            }
+            // Paper claim: the autotuner matches (or beats — it may also
+            // choose CPU backends and splits the pinned mappings cannot)
+            // the best pinned mapping at every point. The perturbation
+            // restarts ("kicks") in the mutation schedule carry the search
+            // across the separable+scratchpad fitness valley that used to
+            // strand it at Desktop kernel widths >= 13.
+            assert!(
+                tuned.time_secs <= best_pinned * 1.05,
+                "{}, width {k}: autotuner {:.2}x the best pinned mapping",
+                machine.codename,
+                tuned.time_secs / best_pinned
+            );
         }
         println!();
     }
-    if deviations.is_empty() {
-        println!("Paper claim holds: the autotuner matched the best pinned mapping everywhere.");
-    } else {
-        println!("DEVIATION from the paper's claim ({} points):", deviations.len());
-        for (codename, k, ratio) in &deviations {
-            println!("  {codename}, width {k}: autotuner {ratio:.2}x the best pinned mapping");
-        }
-        // Nonzero exit keeps the claim machine-checkable (the full table
-        // above still renders first).
-        std::process::exit(1);
-    }
+    println!("Paper claim holds: the autotuner matched the best pinned mapping everywhere.");
 }

@@ -21,8 +21,11 @@ fn time_on(bench: &dyn Benchmark, machine: &MachineProfile, cfg: &Config) -> Opt
 fn main() {
     let filter: Option<String> =
         std::env::args().nth(1).filter(|a| a != "--full").map(|s| s.to_lowercase());
-    let machines = MachineProfile::all();
-    let widths = [22, 12, 12, 12];
+    // The extended matrix: the paper's three machines plus the iGPU and
+    // ManyCore extension profiles (migration penalties are sharpest when
+    // the device balance differs most).
+    let machines = MachineProfile::extended();
+    let widths = [22, 12, 12, 12, 12, 12];
 
     for bench in harness_benchmarks(full_flag()) {
         if let Some(f) = &filter {

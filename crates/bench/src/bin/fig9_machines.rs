@@ -4,7 +4,8 @@ use petal_bench::row;
 use petal_gpu::profile::MachineProfile;
 
 fn main() {
-    println!("Figure 9: properties of the representative test systems\n");
+    println!("Figure 9: properties of the representative test systems");
+    println!("(the paper's three machines plus the iGPU/ManyCore extension profiles)\n");
     let widths = [9, 26, 6, 26, 22, 28];
     println!(
         "{}",
@@ -13,7 +14,7 @@ fn main() {
             &widths
         )
     );
-    for m in MachineProfile::all() {
+    for m in MachineProfile::extended() {
         println!(
             "{}",
             row(

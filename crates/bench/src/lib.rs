@@ -46,7 +46,33 @@ pub fn full_flag() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Criterion sample size for the bench suites: tiny under `PETAL_SMOKE=1`
+/// (the CI smoke run only checks the suites still execute), normal
+/// otherwise.
+#[must_use]
+pub fn bench_sample_size() -> usize {
+    if petal_apps::workload::smoke_mode() {
+        3
+    } else {
+        10
+    }
+}
+
+/// Shrink a bench workload size under `PETAL_SMOKE=1`.
+#[must_use]
+pub fn bench_size(full: usize, smoke: usize) -> usize {
+    if petal_apps::workload::smoke_mode() {
+        smoke
+    } else {
+        full
+    }
+}
+
 /// Tuner settings used by the harnesses (slightly larger than smoke).
+///
+/// Evaluation runs on the farm with one worker per available hardware
+/// thread: results are bit-identical to a sequential search (the farm's
+/// determinism contract), only wall-clock time changes.
 #[must_use]
 pub fn harness_tuner_settings() -> TunerSettings {
     TunerSettings {
@@ -56,6 +82,9 @@ pub fn harness_tuner_settings() -> TunerSettings {
         size_schedule: vec![1.0 / 16.0, 1.0 / 4.0, 1.0],
         small_size_trial_fraction: 0.5,
         model_process_restarts: true,
+        farm: petal_farm::FarmSettings::host_parallel(),
+        kick_after: 2,
+        kick_strength: 3,
     }
 }
 

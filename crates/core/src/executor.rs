@@ -23,9 +23,7 @@ use petal_gpu::device::{Device, KernelLaunch};
 use petal_gpu::profile::MachineProfile;
 use petal_gpu::queue::{Event, EventStatus};
 use petal_rt::{Charge, Engine, GpuOutcome, GpuTaskClass, RunReport, TaskId};
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Manager-side cost of issuing one non-blocking device call.
 const ISSUE_SECS: f64 = 2.0e-6;
@@ -40,6 +38,10 @@ pub struct ExecReport {
     pub compile_secs: f64,
     /// Lazy copy-out pulls performed by consumers.
     pub lazy_pulls: usize,
+    /// Kernel compiles charged while lowering this plan, in compile order.
+    /// The evaluation farm replays these against its shared process/IR-cache
+    /// model to re-price trials deterministically.
+    pub compile_events: Vec<petal_gpu::compile::CompileEvent>,
 }
 
 impl ExecReport {
@@ -64,7 +66,6 @@ pub struct Executor {
     device: Option<Device>,
     workers: usize,
     seed: u64,
-    restart_process: bool,
 }
 
 impl std::fmt::Debug for Executor {
@@ -86,17 +87,7 @@ impl Executor {
             device: machine.gpu.clone().map(Device::new),
             workers: machine.cpu.cores,
             seed: 0x5eed,
-            restart_process: false,
         }
-    }
-
-    /// Model a process restart before every run (§5.4): compiled kernels
-    /// are dropped (re-JITed, possibly via the IR cache) each time —
-    /// matching how the paper's autotuner launches a fresh binary per
-    /// candidate test.
-    pub fn set_process_restarts(&mut self, restart: bool) -> &mut Self {
-        self.restart_process = restart;
-        self
     }
 
     /// Override the deterministic scheduling seed.
@@ -137,12 +128,13 @@ impl Executor {
     /// OpenCL placements on a machine without a device.
     pub fn run(&mut self, plan: Plan, world: &mut World) -> Result<ExecReport, Error> {
         let policies = analyze_movement(&plan);
+        // Per-run process-restart modeling (§5.4) lives in the evaluation
+        // farm now: a farm trial gets a fresh executor (= fresh process)
+        // and the farm re-prices compiles against its shared IR-cache
+        // model, so the executor itself only resets transient device state.
         let mut device = self.device.take();
         if let Some(d) = &mut device {
             d.reset_timeline();
-            if self.restart_process {
-                d.reset_process();
-            }
         }
         let mut compile_secs = 0.0;
         let lazy_before = world.lazy_pulls;
@@ -179,7 +171,13 @@ impl Executor {
 
         let rt = engine.run(world).map_err(Error::Rt)?;
         self.device = engine.take_device();
-        Ok(ExecReport { rt, compile_secs, lazy_pulls: world.lazy_pulls - lazy_before })
+        let compile_events = self.device.as_mut().map(Device::take_compile_log).unwrap_or_default();
+        Ok(ExecReport {
+            rt,
+            compile_secs,
+            lazy_pulls: world.lazy_pulls - lazy_before,
+            compile_events,
+        })
     }
 
     /// Emit tasks for one stencil step; returns (initial, terminal) tasks.
@@ -310,8 +308,12 @@ impl Executor {
             out_buf: Option<BufferId>,
             read: Option<(Event, Vec<f64>)>,
         }
-        let inv = Rc::new(RefCell::new(Inv::default()));
-        inv.borrow_mut().in_bufs = vec![None; s.inputs.len()];
+        // Shared invocation state between the four chain tasks. `Arc<Mutex>`
+        // (not `Rc<RefCell>`): the chain must be `Send` so a whole trial can
+        // run on an evaluation-farm worker thread. Tasks of one engine never
+        // run concurrently, so the lock is uncontended.
+        let inv = Arc::new(Mutex::new(Inv::default()));
+        inv.lock().expect("inv lock").in_bufs = vec![None; s.inputs.len()];
 
         let (out_w, out_h) = s.out_dims;
         let inputs = s.inputs.clone();
@@ -319,12 +321,12 @@ impl Executor {
 
         // Prepare: allocate buffers (reusing resident input copies).
         let prepare = {
-            let inv = Rc::clone(&inv);
+            let inv = Arc::clone(&inv);
             let inputs = inputs.clone();
             engine.add_gpu_task(GpuTaskClass::Prepare, move |world: &mut World, ctx| {
                 let mut secs = 0.0;
                 let profile = ctx.device.profile().clone();
-                let mut st = inv.borrow_mut();
+                let mut st = inv.lock().expect("inv lock");
                 for (k, &i) in inputs.iter().enumerate() {
                     let m_len = {
                         let m = world.get_dims(i);
@@ -350,9 +352,10 @@ impl Executor {
         // One copy-in per input, deduplicated against the residency table.
         let mut copy_ins = Vec::with_capacity(inputs.len());
         for (k, &i) in inputs.iter().enumerate() {
-            let inv = Rc::clone(&inv);
+            let inv = Arc::clone(&inv);
             let id = engine.add_gpu_task(GpuTaskClass::CopyIn, move |world: &mut World, ctx| {
-                let (buf, resident) = inv.borrow().in_bufs[k].expect("prepare ran before copy-in");
+                let (buf, resident) =
+                    inv.lock().expect("inv lock").in_bufs[k].expect("prepare ran before copy-in");
                 if resident {
                     ctx.note_dedup_hit();
                     return Ok(GpuOutcome::Done { manager_secs: 1.0e-7 });
@@ -375,13 +378,13 @@ impl Executor {
 
         // Execute: launch the kernel, then issue the copy-out per policy.
         let execute = {
-            let inv = Rc::clone(&inv);
+            let inv = Arc::clone(&inv);
             let rule = Arc::clone(&s.rule);
             let inputs = inputs.clone();
             let scalars = s.user_scalars.clone();
             engine.add_gpu_task(GpuTaskClass::Execute, move |world: &mut World, ctx| {
                 let st_bufs: Vec<BufferId> = {
-                    let st = inv.borrow();
+                    let st = inv.lock().expect("inv lock");
                     let mut v: Vec<BufferId> =
                         st.in_bufs.iter().map(|b| b.expect("copy-in ran").0).collect();
                     v.push(st.out_buf.expect("prepare ran"));
@@ -406,7 +409,7 @@ impl Executor {
                 match policy {
                     CopyOutPolicy::Eager => {
                         let (ev, data) = ctx.device.enqueue_read(ctx.now, out_buf)?;
-                        inv.borrow_mut().read = Some((ev, data));
+                        inv.lock().expect("inv lock").read = Some((ev, data));
                         // Keep the device copy usable by later kernels too.
                         if gpu_rows == out_h {
                             let key = world.residency_key(output, 0, out_h);
@@ -438,11 +441,11 @@ impl Executor {
 
         // Copy-out completion: poll the non-blocking read (eager only).
         let copy_out_done = if policy == CopyOutPolicy::Eager {
-            let inv = Rc::clone(&inv);
+            let inv = Arc::clone(&inv);
             let id =
                 engine.add_gpu_task(GpuTaskClass::CopyOutDone, move |world: &mut World, ctx| {
                     let ready = {
-                        let st = inv.borrow();
+                        let st = inv.lock().expect("inv lock");
                         let (ev, _) = st.read.as_ref().expect("execute issued the read");
                         match ev.status_at(ctx.now) {
                             EventStatus::Pending => Err(ev.complete_at),
@@ -452,7 +455,8 @@ impl Executor {
                     if let Err(ready_at) = ready {
                         return Ok(GpuOutcome::Requeue { ready_at });
                     }
-                    let (_, data) = inv.borrow_mut().read.take().expect("read present");
+                    let (_, data) =
+                        inv.lock().expect("inv lock").read.take().expect("read present");
                     let mut out = world.take_matrix(output);
                     out.as_mut_slice()[0..out_w * gpu_rows].copy_from_slice(&data);
                     world.restore_matrix(output, out);

@@ -91,7 +91,9 @@ pub struct StencilStep {
 }
 
 /// Closure type for native steps: arbitrary CPU code with dynamic spawning.
-pub type NativeFn = Box<dyn FnOnce(&mut World, &mut CpuCtx<World>) -> Charge>;
+/// `Send` so a whole plan (and the trial evaluating it) can move to an
+/// evaluation-farm worker thread.
+pub type NativeFn = Box<dyn FnOnce(&mut World, &mut CpuCtx<World>) -> Charge + Send>;
 
 /// One CPU-only step (external library calls, recursive poly-algorithms).
 pub struct NativeStep {

@@ -1,0 +1,59 @@
+//! Wall-clock scaling of the evaluation farm.
+//!
+//! The determinism contract says thread count never changes *results*;
+//! this test checks it does change *speed*. It only asserts on hosts with
+//! real parallelism (>= 4 hardware threads) — on smaller machines it still
+//! exercises both paths and verifies result equality, but skips the
+//! wall-clock comparison instead of flaking.
+
+use petal_apps::convolution::{ConvMapping, SeparableConvolution};
+use petal_apps::Benchmark;
+use petal_farm::{job_seed, EvalFarm, EvalJob, FarmSettings};
+use petal_gpu::profile::MachineProfile;
+use std::time::Instant;
+
+#[test]
+fn eight_threads_beat_one_on_parallel_hosts() {
+    let bench = SeparableConvolution::new(256, 7);
+    let machine = MachineProfile::desktop();
+    let cfg = bench.mapping_config(&machine, ConvMapping::SeparableLocalMem);
+    let jobs: Vec<EvalJob> = (0..16)
+        .map(|i| EvalJob {
+            config: cfg.clone(),
+            size: bench.input_size(),
+            engine_seed: job_seed(3, 0, i),
+        })
+        .collect();
+
+    let time = |threads: usize| {
+        let mut farm = EvalFarm::new(&FarmSettings { threads }, true);
+        let t0 = Instant::now();
+        let results = farm.evaluate(&bench, &machine, &jobs);
+        (t0.elapsed(), results)
+    };
+    // Warm up (page cache, lazy init), then measure.
+    let _ = time(1);
+    let (serial, r1) = time(1);
+    let (parallel, r8) = time(8);
+    for (a, b) in r1.iter().zip(&r8) {
+        // Identical up to the worker label (which names the pool slot and
+        // so legitimately differs between pool sizes).
+        assert_eq!(a.fitness, b.fitness, "thread count must not change results");
+        assert_eq!(a.trial_secs, b.trial_secs);
+        assert_eq!(a.compile_secs, b.compile_secs);
+        assert_eq!(a.ran, b.ran);
+    }
+
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if hw < 4 {
+        eprintln!(
+            "skipping wall-clock assertion: only {hw} hardware thread(s) \
+             (serial {serial:?}, 8-thread {parallel:?})"
+        );
+        return;
+    }
+    assert!(
+        parallel.as_secs_f64() < serial.as_secs_f64() * 0.75,
+        "8 threads should be measurably faster: serial {serial:?} vs parallel {parallel:?}"
+    );
+}

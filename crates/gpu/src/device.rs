@@ -129,6 +129,12 @@ impl Device {
         self.compiler.stats()
     }
 
+    /// Drain the charged-compile log since the last drain (see
+    /// [`CompileCache::take_compile_log`]).
+    pub fn take_compile_log(&mut self) -> Vec<crate::compile::CompileEvent> {
+        self.compiler.take_compile_log()
+    }
+
     /// Number of distinct kernels compiled.
     #[must_use]
     pub fn kernel_count(&self) -> usize {

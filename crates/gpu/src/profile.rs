@@ -245,10 +245,87 @@ impl MachineProfile {
         }
     }
 
+    /// An *iGPU* machine beyond the paper's three: a low-power desktop
+    /// whose only OpenCL device is an integrated GPU sharing host DRAM.
+    ///
+    /// The interconnect is a memcpy through shared memory (fast, low
+    /// per-transfer overhead), but the device competes with the CPU for
+    /// the same bandwidth: `global_bw` equals the host memory bandwidth,
+    /// and the scratchpad advantage is modest. The interesting tuning
+    /// regime is the opposite of the Desktop's — transfers are nearly
+    /// free, so fractional CPU+GPU splits win even for streaming kernels.
+    #[must_use]
+    pub fn igpu() -> Self {
+        MachineProfile {
+            codename: "iGPU".into(),
+            os: "Ubuntu 12.04 GNU/Linux".into(),
+            opencl_runtime: "Intel OpenCL SDK 2012 (iGPU)".into(),
+            cpu: CpuProfile {
+                name: "Core i3 3225 @3.3GHz".into(),
+                cores: 2,
+                flops_per_core: 3.2e9,
+                mem_bw: 21e9,
+                task_overhead: 1.8e-7,
+                steal_latency: 2.5e-7,
+            },
+            gpu: Some(GpuProfile {
+                name: "Intel HD Graphics 4000".into(),
+                flops: 1.2e11,
+                global_bw: 21e9, // shares host DRAM with the CPU
+                local_bw: 1.0e11,
+                pcie_bw: 10e9, // memcpy within shared memory
+                launch_overhead: 1.2e-5,
+                transfer_overhead: 1.5e-6,
+                alloc_overhead: 2.5e-6,
+                alloc_bytes_factor: 4.0e-12,
+                read_cache_factor: 0.25,
+                group_overhead: 5.0e-8,
+                barrier_overhead: 1.0e-8,
+                compile_frontend: 1.1,
+                compile_jit: 0.7,
+                max_work_group: 512,
+                warp: 16,
+                cpu_backed: false,
+            }),
+        }
+    }
+
+    /// A *ManyCore* server beyond the paper's three: 64 slow cores and no
+    /// OpenCL runtime at all.
+    ///
+    /// With `gpu: None` every OpenCL choice is statically unavailable, so
+    /// tuning is purely about CPU-side structure (chunking, cutoffs,
+    /// algorithm selection) and the workstealing scheduler carries all the
+    /// parallelism — the stress case for the runtime's scaling paths.
+    #[must_use]
+    pub fn manycore() -> Self {
+        MachineProfile {
+            codename: "ManyCore".into(),
+            os: "CentOS 6.3 GNU/Linux".into(),
+            opencl_runtime: "none".into(),
+            cpu: CpuProfile {
+                name: "4x Opteron 6276 @2.3GHz".into(),
+                cores: 64,
+                flops_per_core: 1.6e9,
+                mem_bw: 102e9,
+                task_overhead: 3.0e-7,
+                steal_latency: 6.0e-7,
+            },
+            gpu: None,
+        }
+    }
+
     /// All three paper machines, in presentation order.
     #[must_use]
     pub fn all() -> Vec<MachineProfile> {
         vec![Self::desktop(), Self::server(), Self::laptop()]
+    }
+
+    /// The paper machines plus the two extension profiles ([`Self::igpu`],
+    /// [`Self::manycore`]) used by the extended fig7/fig9 matrices.
+    #[must_use]
+    pub fn extended() -> Vec<MachineProfile> {
+        vec![Self::desktop(), Self::server(), Self::laptop(), Self::igpu(), Self::manycore()]
     }
 
     /// Look up a preset by (case-insensitive) codename.
@@ -258,6 +335,8 @@ impl MachineProfile {
             "desktop" => Some(Self::desktop()),
             "server" => Some(Self::server()),
             "laptop" => Some(Self::laptop()),
+            "igpu" => Some(Self::igpu()),
+            "manycore" => Some(Self::manycore()),
             _ => None,
         }
     }
@@ -340,13 +419,42 @@ mod tests {
     fn lookup_by_codename() {
         assert!(MachineProfile::by_codename("DESKTOP").is_some());
         assert!(MachineProfile::by_codename("laptop").is_some());
+        assert!(MachineProfile::by_codename("iGPU").is_some());
+        assert!(MachineProfile::by_codename("ManyCore").is_some());
         assert!(MachineProfile::by_codename("phone").is_none());
     }
 
     #[test]
     fn display_is_nonempty() {
-        for m in MachineProfile::all() {
+        for m in MachineProfile::extended() {
             assert!(!m.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn extension_profiles_have_the_intended_shape() {
+        let i = MachineProfile::igpu();
+        let ig = i.gpu.as_ref().unwrap();
+        assert!(i.has_physical_gpu());
+        assert_eq!(ig.global_bw, i.cpu.mem_bw, "iGPU shares host DRAM");
+        // Weak device relative to the Desktop's discrete card, cheap link.
+        assert!(ig.flops < MachineProfile::desktop().gpu.unwrap().flops / 4.0);
+        assert!(ig.pcie_bw > MachineProfile::laptop().gpu.unwrap().pcie_bw);
+
+        let m = MachineProfile::manycore();
+        assert!(!m.has_opencl(), "ManyCore has no OpenCL runtime at all");
+        assert_eq!(m.cpu.cores, 64);
+        assert!(m.cpu_flops() > MachineProfile::server().cpu_flops());
+    }
+
+    #[test]
+    fn extended_is_all_plus_two() {
+        let all = MachineProfile::all();
+        let ext = MachineProfile::extended();
+        assert_eq!(ext.len(), all.len() + 2);
+        assert_eq!(
+            ext.iter().map(|m| m.codename.as_str()).collect::<Vec<_>>()[..3],
+            all.iter().map(|m| m.codename.as_str()).collect::<Vec<_>>()[..]
+        );
     }
 }

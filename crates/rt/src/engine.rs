@@ -186,7 +186,7 @@ impl<S> Engine<S> {
     /// Create a root CPU task (state *new* until [`Engine::run`] starts).
     pub fn add_cpu_task(
         &mut self,
-        f: impl FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + 'static,
+        f: impl FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + Send + 'static,
     ) -> TaskId {
         let id = self.arena.add(TaskKind::Cpu(Box::new(f)));
         self.roots.push(id);
@@ -197,7 +197,7 @@ impl<S> Engine<S> {
     pub fn add_gpu_task(
         &mut self,
         class: crate::task::GpuTaskClass,
-        f: impl FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError> + 'static,
+        f: impl FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError> + Send + 'static,
     ) -> TaskId {
         let id = self.arena.add(TaskKind::Gpu(class, Box::new(f)));
         self.roots.push(id);
@@ -465,6 +465,17 @@ impl<S> Engine<S> {
         }
     }
 }
+
+// Compile-time guarantee behind the evaluation farm: an engine whose host
+// state is `Send` can be moved to a worker thread wholesale (task closures
+// carry a `Send` bound, the device owns no thread-local state).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn engine_is_send<S: Send>() {
+        assert_send::<Engine<S>>();
+    }
+    engine_is_send::<()>();
+};
 
 impl<S> std::fmt::Debug for Engine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

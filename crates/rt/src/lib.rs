@@ -25,6 +25,21 @@
 //! deterministic and machine-profile dependent — which is what the
 //! autotuner needs to reproduce the paper's per-machine results.
 //!
+//! ## `Send` evaluation state
+//!
+//! Task closures ([`task::CpuFn`], [`task::GpuFn`]) carry a **`Send`
+//! bound**, and the engine asserts at compile time that `Engine<S>: Send`
+//! whenever `S: Send`. An entire evaluation — engine, task graph, device,
+//! host state — can therefore be moved onto another OS thread wholesale.
+//! That is the foundation of `petal-farm`, which runs autotuner trials
+//! (each owning an independent `Executor`/`Engine`/`World`) on a pool of
+//! real threads while keeping results bit-identical at any thread count:
+//! the virtual clock inside each engine is untouched by wall-clock
+//! scheduling outside it. Shared per-chain state in closures uses
+//! `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`; within one engine the
+//! lock is uncontended because tasks of a single run never execute
+//! concurrently.
+//!
 //! # Example
 //!
 //! ```

@@ -87,10 +87,12 @@ pub enum GpuOutcome {
     },
 }
 
-/// Closure type for CPU tasks.
-pub type CpuFn<S> = Box<dyn FnOnce(&mut S, &mut CpuCtx<S>) -> Charge>;
+/// Closure type for CPU tasks. `Send` because an [`crate::Engine`] (and the
+/// whole per-trial evaluation state around it) must be movable onto a farm
+/// worker thread.
+pub type CpuFn<S> = Box<dyn FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + Send>;
 /// Closure type for GPU tasks (FnMut: a copy-out poll may run repeatedly).
-pub type GpuFn<S> = Box<dyn FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError>>;
+pub type GpuFn<S> = Box<dyn FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError> + Send>;
 
 /// What a task does when executed.
 pub enum TaskKind<S> {
@@ -150,7 +152,7 @@ impl<S> CpuCtx<S> {
     /// executing worker's deque in creation order when this task finishes.
     pub fn spawn_cpu(
         &mut self,
-        f: impl FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + 'static,
+        f: impl FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + Send + 'static,
     ) -> SpawnRef {
         self.spawned.push(TaskKind::Cpu(Box::new(f)));
         SpawnRef::Local(self.spawned.len() - 1)
@@ -161,7 +163,7 @@ impl<S> CpuCtx<S> {
     pub fn spawn_gpu(
         &mut self,
         class: GpuTaskClass,
-        f: impl FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError> + 'static,
+        f: impl FnMut(&mut S, &mut GpuCtx<'_>) -> Result<GpuOutcome, GpuError> + Send + 'static,
     ) -> SpawnRef {
         self.spawned.push(TaskKind::Gpu(class, Box::new(f)));
         SpawnRef::Local(self.spawned.len() - 1)

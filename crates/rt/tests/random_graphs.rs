@@ -6,11 +6,12 @@ use petal_gpu::cost::CpuWork;
 use petal_gpu::profile::MachineProfile;
 use petal_rt::{Charge, Engine};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// Execution log shared by all tasks: (task index, completion order).
-type Log = Rc<RefCell<Vec<usize>>>;
+/// Execution log shared by all tasks: (task index, completion order). Task
+/// closures are `Send` (the farm moves whole engines across threads), so
+/// the log is `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`.
+type Log = Arc<Mutex<Vec<usize>>>;
 
 #[derive(Debug, Clone)]
 struct GraphSpec {
@@ -54,14 +55,14 @@ proptest! {
         let machines = MachineProfile::all();
         let machine = &machines[spec.machine_idx];
         let n = spec.deps.len();
-        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
         let mut engine: Engine<()> = Engine::with_workers(machine, spec.workers, spec.seed);
         let mut ids = Vec::with_capacity(n);
         for (i, flops) in spec.work.iter().enumerate() {
-            let log = Rc::clone(&log);
+            let log = Arc::clone(&log);
             let flops = f64::from(*flops);
             let id = engine.add_cpu_task(move |(), _| {
-                log.borrow_mut().push(i);
+                log.lock().expect("log lock").push(i);
                 Charge::Work(CpuWork::new(flops, flops / 2.0))
             });
             ids.push(id);
@@ -74,7 +75,7 @@ proptest! {
         let report = engine.run(&mut ()).expect("acyclic graphs never deadlock");
 
         // Every task ran exactly once.
-        let order = log.borrow();
+        let order = log.lock().expect("log lock");
         prop_assert_eq!(order.len(), n);
         let mut seen = vec![false; n];
         for &t in order.iter() {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Error> {
                 t,
                 report.rt.device_utilization() * 100.0
             );
-            if best.is_none_or(|(bt, _)| t < bt) {
+            if best.map_or(true, |(bt, _)| t < bt) {
                 best = Some((t, mapping.label()));
             }
         }

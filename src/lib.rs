@@ -7,6 +7,8 @@
 //! an evolutionary autotuner ([`petal_tuner`]) empirically searches that
 //! space — algorithm selection, CPU/GPU placement, fractional work splits,
 //! scratchpad-memory mapping, work-group sizes — per target machine.
+//! Candidate evaluation runs on [`petal_farm`], a multi-threaded
+//! evaluation farm whose results are bit-identical at any thread count.
 //!
 //! Because this environment has no physical GPU, devices are provided by
 //! [`petal_gpu`], a simulated OpenCL subsystem: kernels run *functionally*
@@ -35,6 +37,7 @@
 pub use petal_apps as apps;
 pub use petal_blas as blas;
 pub use petal_core as core;
+pub use petal_farm as farm;
 pub use petal_gpu as gpu;
 pub use petal_rt as rt;
 pub use petal_tuner as tuner;
@@ -51,6 +54,7 @@ pub mod prelude {
         program::Program,
         Error, World,
     };
+    pub use petal_farm::{EvalFarm, EvalJob, EvalResult, FarmSettings};
     pub use petal_gpu::profile::MachineProfile;
     pub use petal_tuner::{Autotuner, Tuned, TunerSettings};
 }

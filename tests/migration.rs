@@ -15,6 +15,8 @@ fn settings(seed: u64) -> TunerSettings {
         size_schedule: vec![0.125, 1.0],
         small_size_trial_fraction: 0.5,
         model_process_restarts: false,
+        // Farm/kick knobs at their defaults (sequential, kicks enabled).
+        ..TunerSettings::smoke()
     }
 }
 
