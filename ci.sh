@@ -18,6 +18,9 @@ cargo build --release --offline
 echo "== cargo test -q (offline)"
 cargo test -q --offline
 
+echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings: docs can never rot)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
 echo "== smoke-mode criterion suites (PETAL_SMOKE=1, reduced sizes/samples)"
 PETAL_SMOKE=1 cargo bench --offline
 

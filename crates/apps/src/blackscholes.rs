@@ -101,6 +101,10 @@ impl crate::Benchmark for BlackScholes {
         "Black-Scholes"
     }
 
+    fn spec(&self) -> String {
+        format!("blackscholes n={}", self.n)
+    }
+
     fn input_size(&self) -> u64 {
         self.n as u64
     }

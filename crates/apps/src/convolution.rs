@@ -198,6 +198,10 @@ impl crate::Benchmark for SeparableConvolution {
         "SeparableConvolution"
     }
 
+    fn spec(&self) -> String {
+        format!("convolution n={} k={}", self.n, self.k)
+    }
+
     fn input_size(&self) -> u64 {
         (self.n * self.n) as u64
     }

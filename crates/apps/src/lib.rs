@@ -64,6 +64,16 @@ pub trait Benchmark: Send + Sync {
     /// Display name (matches the paper's benchmark tables).
     fn name(&self) -> &str;
 
+    /// A machine-readable constructor spec: one line of `kind key=value …`
+    /// that [`benchmark_from_spec`] parses back into an equivalent
+    /// benchmark. This is how the process-sharded evaluation farm ships a
+    /// benchmark identity to its `petal-shard` worker processes, so the
+    /// round-trip contract is strict: `benchmark_from_spec(&b.spec())`
+    /// must rebuild a benchmark with the same name, the same input size
+    /// and bit-identical evaluation behaviour. Floating-point parameters
+    /// are therefore encoded as exact IEEE-754 bit patterns (`0x…`).
+    fn spec(&self) -> String;
+
     /// The input size fed to selectors.
     fn input_size(&self) -> u64;
 
@@ -104,6 +114,106 @@ pub trait Benchmark: Send + Sync {
     }
 }
 
+/// Parse one `key=value` token of a [`Benchmark::spec`] line.
+fn spec_field<'a>(tokens: &'a [&str], key: &str) -> Result<&'a str, String> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| format!("spec is missing `{key}=`"))
+}
+
+fn spec_usize(tokens: &[&str], key: &str) -> Result<usize, String> {
+    spec_field(tokens, key)?.parse().map_err(|_| format!("spec field `{key}` is not an integer"))
+}
+
+/// Decode an `0x…` IEEE-754 bit pattern written by a spec (exactness is
+/// part of the round-trip contract; decimal text could drift).
+fn spec_f64_bits(tokens: &[&str], key: &str) -> Result<f64, String> {
+    spec_f64_parse(spec_field(tokens, key)?).map_err(|e| format!("spec field `{key}`: {e}"))
+}
+
+/// Encode an `f64` as its exact IEEE-754 bit pattern (`0x` + 16 hex
+/// digits). The inverse of [`spec_f64_parse`]; shared by benchmark specs
+/// and the shard wire format so the two "exact float" encodings can
+/// never drift apart.
+#[must_use]
+pub fn spec_f64(value: f64) -> String {
+    format!("0x{:016x}", value.to_bits())
+}
+
+/// Decode an `f64` encoded by [`spec_f64`], bit-exactly (NaN payloads
+/// included).
+///
+/// # Errors
+/// When the text is not `0x` followed by a valid hex bit pattern.
+pub fn spec_f64_parse(raw: &str) -> Result<f64, String> {
+    let hex = raw.strip_prefix("0x").ok_or_else(|| format!("`{raw}` must be 0x…"))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("`{raw}` is not a hex bit pattern"))
+}
+
+/// Rebuild a benchmark from a [`Benchmark::spec`] line.
+///
+/// This is the inverse of [`Benchmark::spec`] and the entry point the
+/// `petal-shard` worker binary uses to reconstruct its benchmark from the
+/// shard-protocol `INIT` message.
+///
+/// # Errors
+/// Returns a human-readable message when the kind is unknown, a field is
+/// missing or malformed, or the parameters would violate the benchmark's
+/// constructor invariants (so a corrupt spec never panics a worker).
+pub fn benchmark_from_spec(spec: &str) -> Result<Box<dyn Benchmark>, String> {
+    let tokens: Vec<&str> = spec.split_whitespace().collect();
+    let (&kind, params) = tokens.split_first().ok_or_else(|| "empty spec".to_owned())?;
+    match kind {
+        "blackscholes" => {
+            let n = spec_usize(params, "n")?;
+            (n >= 1).then(|| Box::new(blackscholes::BlackScholes::new(n)) as Box<dyn Benchmark>)
+        }
+        .ok_or_else(|| "blackscholes: n must be >= 1".to_owned()),
+        "poisson2d" => {
+            let (n, iters) = (spec_usize(params, "n")?, spec_usize(params, "iters")?);
+            (n >= 4 && iters >= 1)
+                .then(|| Box::new(poisson::Poisson2D::new(n, iters)) as Box<dyn Benchmark>)
+                .ok_or_else(|| "poisson2d: need n >= 4 and iters >= 1".to_owned())
+        }
+        "convolution" => {
+            let (n, k) = (spec_usize(params, "n")?, spec_usize(params, "k")?);
+            (k % 2 == 1 && k >= 3 && n > 3 * k)
+                .then(|| {
+                    Box::new(convolution::SeparableConvolution::new(n, k)) as Box<dyn Benchmark>
+                })
+                .ok_or_else(|| "convolution: need odd k >= 3 and n > 3k".to_owned())
+        }
+        "sort" => {
+            let n = spec_usize(params, "n")?;
+            (n > 0)
+                .then(|| Box::new(sort::Sort::new(n)) as Box<dyn Benchmark>)
+                .ok_or_else(|| "sort: n must be > 0".to_owned())
+        }
+        "strassen" => {
+            let n = spec_usize(params, "n")?;
+            (n > 0)
+                .then(|| Box::new(strassen::Strassen::new(n)) as Box<dyn Benchmark>)
+                .ok_or_else(|| "strassen: n must be > 0".to_owned())
+        }
+        "svd" => {
+            let (n, target) = (spec_usize(params, "n")?, spec_f64_bits(params, "target")?);
+            (n >= 4 && target > 0.0 && target <= 1.0)
+                .then(|| Box::new(svd::Svd::new(n, target)) as Box<dyn Benchmark>)
+                .ok_or_else(|| "svd: need n >= 4 and target in (0, 1]".to_owned())
+        }
+        "tridiagonal" => {
+            let n = spec_usize(params, "n")?;
+            (n >= 2)
+                .then(|| Box::new(tridiagonal::Tridiagonal::new(n)) as Box<dyn Benchmark>)
+                .ok_or_else(|| "tridiagonal: n must be >= 2".to_owned())
+        }
+        other => Err(format!("unknown benchmark kind `{other}`")),
+    }
+}
+
 /// All seven benchmarks at the sizes used by the harness binaries
 /// (reduced from the paper's sizes so functional execution stays fast; the
 /// harness `--full` flag restores the paper's sizes).
@@ -123,6 +233,42 @@ pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn specs_round_trip_through_the_factory() {
+        for b in all_benchmarks() {
+            let spec = b.spec();
+            let rebuilt = benchmark_from_spec(&spec)
+                .unwrap_or_else(|e| panic!("{}: spec `{spec}` did not parse: {e}", b.name()));
+            assert_eq!(rebuilt.name(), b.name());
+            assert_eq!(rebuilt.input_size(), b.input_size());
+            assert_eq!(rebuilt.spec(), spec, "spec must be canonical");
+        }
+    }
+
+    #[test]
+    fn bad_specs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "warp10 n=4",
+            "sort",
+            "sort n=zero",
+            "sort n=0",
+            "convolution n=16 k=4",
+            "poisson2d n=128",
+            "svd n=64 target=0.15",
+            "svd n=64 target=0x0000000000000000",
+        ] {
+            assert!(benchmark_from_spec(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn svd_spec_preserves_the_exact_accuracy_target() {
+        let b = svd::Svd::new(32, 0.1 + 0.2 - 0.25); // deliberately non-representable-looking
+        let rebuilt = benchmark_from_spec(&b.spec()).expect("parses");
+        assert_eq!(rebuilt.spec(), b.spec());
+    }
 
     #[test]
     fn every_benchmark_runs_with_defaults_on_every_machine() {

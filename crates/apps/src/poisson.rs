@@ -156,6 +156,10 @@ impl crate::Benchmark for Poisson2D {
         "Poisson2D SOR"
     }
 
+    fn spec(&self) -> String {
+        format!("poisson2d n={} iters={}", self.n, self.iters)
+    }
+
     fn input_size(&self) -> u64 {
         (self.n * self.n) as u64
     }

@@ -93,6 +93,10 @@ impl crate::Benchmark for Sort {
         "Sort"
     }
 
+    fn spec(&self) -> String {
+        format!("sort n={}", self.n)
+    }
+
     fn input_size(&self) -> u64 {
         self.n as u64
     }

@@ -374,6 +374,10 @@ impl crate::Benchmark for Strassen {
         "Strassen"
     }
 
+    fn spec(&self) -> String {
+        format!("strassen n={}", self.n)
+    }
+
     fn input_size(&self) -> u64 {
         self.n as u64
     }

@@ -98,6 +98,10 @@ impl crate::Benchmark for Svd {
         "SVD"
     }
 
+    fn spec(&self) -> String {
+        format!("svd n={} target={}", self.n, crate::spec_f64(self.target))
+    }
+
     fn input_size(&self) -> u64 {
         self.n as u64
     }

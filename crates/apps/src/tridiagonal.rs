@@ -162,6 +162,10 @@ impl crate::Benchmark for Tridiagonal {
         "Tridiagonal Solver"
     }
 
+    fn spec(&self) -> String {
+        format!("tridiagonal n={}", self.n)
+    }
+
     fn input_size(&self) -> u64 {
         self.n as u64
     }

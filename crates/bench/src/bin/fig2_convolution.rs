@@ -7,7 +7,7 @@
 
 use petal_apps::convolution::{ConvMapping, SeparableConvolution};
 use petal_apps::Benchmark;
-use petal_bench::{full_flag, row};
+use petal_bench::{full_flag, harness_farm_settings, row};
 use petal_gpu::profile::MachineProfile;
 use petal_tuner::{Autotuner, TunerSettings};
 
@@ -22,7 +22,7 @@ fn main() {
         size_schedule: vec![0.25, 1.0],
         small_size_trial_fraction: 0.5,
         model_process_restarts: false,
-        farm: petal_farm::FarmSettings::host_parallel(),
+        farm: harness_farm_settings(),
         kick_after: 1,
         kick_strength: 3,
     };

@@ -7,10 +7,10 @@
 //! CPU-only (Black-Scholes, Poisson), GPU-only bitonic (Sort), and
 //! hand-coded OpenCL (Convolution, Strassen).
 //!
-//! Usage: `fig7_migration [benchmark-substring] [--full]`
+//! Usage: `fig7_migration [benchmark-substring] [--full] [--shards N]`
 
 use petal_apps::Benchmark;
-use petal_bench::{baselines, full_flag, harness_benchmarks, row, tune};
+use petal_bench::{baselines, full_flag, harness_benchmarks, positional_args, row, tune};
 use petal_core::Config;
 use petal_gpu::profile::MachineProfile;
 
@@ -19,8 +19,7 @@ fn time_on(bench: &dyn Benchmark, machine: &MachineProfile, cfg: &Config) -> Opt
 }
 
 fn main() {
-    let filter: Option<String> =
-        std::env::args().nth(1).filter(|a| a != "--full").map(|s| s.to_lowercase());
+    let filter: Option<String> = positional_args().first().map(|s| s.to_lowercase());
     // The extended matrix: the paper's three machines plus the iGPU and
     // ManyCore extension profiles (migration penalties are sharpest when
     // the device balance differs most).

@@ -40,10 +40,122 @@ pub fn harness_benchmarks(full: bool) -> Vec<Box<dyn Benchmark>> {
     }
 }
 
+/// The harness command line, parsed once: every flag the `fig*` binaries
+/// understand, plus whatever positional arguments remain. One parser
+/// means a flag added here can never silently leak into another
+/// accessor's positional arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// `--full`: run at the paper's input sizes.
+    pub full: bool,
+    /// `--shards N` / `--shards=N` (or `PETAL_SHARDS=N`): evaluate on
+    /// `N` `petal-shard` worker processes; 0 stays in-process.
+    pub shards: usize,
+    /// Everything else, in order (e.g. `fig7_migration`'s name filter).
+    pub positionals: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parse an argument list (without `argv[0]`). Malformed flag values
+    /// are a loud error, never a silent default.
+    ///
+    /// # Errors
+    /// A human-readable message for a missing or non-integer `--shards`
+    /// value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        Self::parse_with_env(args, std::env::var("PETAL_SHARDS").ok().as_deref())
+    }
+
+    /// [`Self::parse`] with the `PETAL_SHARDS` value passed explicitly —
+    /// the actual parser, and what tests call so they never have to
+    /// mutate the process environment (a data race under libtest's
+    /// concurrent test threads).
+    fn parse_with_env<I: IntoIterator<Item = String>>(
+        args: I,
+        env_shards: Option<&str>,
+    ) -> Result<Self, String> {
+        let parse_shards = |raw: &str| {
+            raw.parse().map_err(|_| {
+                format!("bad shard count `{raw}`; expected `--shards <N>` (or PETAL_SHARDS=<N>)")
+            })
+        };
+        let mut out = HarnessArgs { full: false, shards: 0, positionals: Vec::new() };
+        // An explicit `--shards 0` must win over PETAL_SHARDS: the flag
+        // is the documented escape hatch back to in-process evaluation.
+        let mut shards_from_cli = false;
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--shards" => {
+                    let raw = args.next().ok_or("--shards is missing its value")?;
+                    out.shards = parse_shards(&raw)?;
+                    shards_from_cli = true;
+                }
+                a if a.starts_with("--shards=") => {
+                    out.shards = parse_shards(&a["--shards=".len()..])?;
+                    shards_from_cli = true;
+                }
+                _ => out.positionals.push(a),
+            }
+        }
+        if !shards_from_cli {
+            if let Some(raw) = env_shards {
+                out.shards = parse_shards(raw)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process's real command line, exiting loudly on a
+    /// malformed flag. Parsed once per process; the free-function
+    /// accessors all read the same cached result.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static PARSED: std::sync::OnceLock<HarnessArgs> = std::sync::OnceLock::new();
+        PARSED
+            .get_or_init(|| {
+                Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .clone()
+    }
+}
+
 /// `--full` flag shared by the harness binaries.
 #[must_use]
 pub fn full_flag() -> bool {
-    std::env::args().any(|a| a == "--full")
+    HarnessArgs::from_env().full
+}
+
+/// `--shards N` flag (or `PETAL_SHARDS=N`) shared by the harness
+/// binaries: run candidate evaluation on `N` `petal-shard` worker
+/// processes instead of in-process threads. 0 (the default) stays
+/// in-process. Results are bit-identical either way; build the worker
+/// first (`cargo build --release -p petal_shard`) or point
+/// `PETAL_SHARD_BIN` at it.
+#[must_use]
+pub fn shards_flag() -> usize {
+    HarnessArgs::from_env().shards
+}
+
+/// Positional (non-flag) arguments, for binaries like `fig7_migration`
+/// that take a benchmark-name filter.
+#[must_use]
+pub fn positional_args() -> Vec<String> {
+    HarnessArgs::from_env().positionals
+}
+
+/// The farm settings the harness binaries run with: `--shards N` workers
+/// when sharding was requested, otherwise one thread per hardware thread.
+#[must_use]
+pub fn harness_farm_settings() -> petal_farm::FarmSettings {
+    match shards_flag() {
+        0 => petal_farm::FarmSettings::host_parallel(),
+        n => petal_farm::FarmSettings::sharded(n),
+    }
 }
 
 /// Criterion sample size for the bench suites: tiny under `PETAL_SMOKE=1`
@@ -82,7 +194,7 @@ pub fn harness_tuner_settings() -> TunerSettings {
         size_schedule: vec![1.0 / 16.0, 1.0 / 4.0, 1.0],
         small_size_trial_fraction: 0.5,
         model_process_restarts: true,
-        farm: petal_farm::FarmSettings::host_parallel(),
+        farm: harness_farm_settings(),
         kick_after: 2,
         kick_strength: 3,
     }
@@ -129,5 +241,38 @@ mod tests {
     fn row_formats_fixed_width() {
         let r = row(&["a".into(), "bb".into()], &[4, 4]);
         assert_eq!(r, "a    bb");
+    }
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn harness_args_parse_flags_and_positionals() {
+        let a = parse(&["scholes", "--shards", "4", "--full"]).expect("parses");
+        assert_eq!(a, HarnessArgs { full: true, shards: 4, positionals: vec!["scholes".into()] });
+        let a = parse(&["--shards=2"]).expect("parses");
+        assert_eq!(a.shards, 2);
+        assert!(a.positionals.is_empty(), "--shards=N is a flag, not a filter");
+    }
+
+    #[test]
+    fn harness_args_reject_malformed_shards_loudly() {
+        assert!(parse(&["--shards"]).is_err(), "missing value");
+        assert!(parse(&["--shards", "bogus"]).is_err(), "non-integer value");
+        assert!(parse(&["--shards=x"]).is_err(), "non-integer inline value");
+    }
+
+    fn parse_env(args: &[&str], env: Option<&str>) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_with_env(args.iter().map(|s| (*s).to_owned()), env)
+    }
+
+    #[test]
+    fn explicit_shards_zero_beats_the_environment() {
+        let a = parse_env(&["--shards", "0"], Some("4")).expect("parses");
+        assert_eq!(a.shards, 0, "CLI escape hatch wins");
+        let a = parse_env(&[], Some("4")).expect("parses");
+        assert_eq!(a.shards, 4, "env applies without the flag");
+        assert!(parse_env(&[], Some("bogus")).is_err(), "malformed env is loud too");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The paper's SVD benchmark "approximates a matrix through a factorization
 //! that consumes less space" and is a *variable accuracy* benchmark: the
-//! number of retained singular values trades quality for time (§6.2, [4]).
+//! number of retained singular values trades quality for time (§6.2, \[4\]).
 //! These are the numerical kernels; the CPU/GPU task-parallel orchestration
 //! is `petal-apps::svd`.
 

@@ -46,7 +46,7 @@ pub enum AccessPattern {
     /// sweep). Not data parallel.
     Sequential,
     /// Diagonal wavefront dependencies — "more complex parallel patterns,
-    /// such as wavefront parallelism, can not be [mapped] in our current
+    /// such as wavefront parallelism, can not be \[mapped\] in our current
     /// implementation" (§3.1).
     Wavefront,
 }

@@ -33,12 +33,30 @@
 //! At `threads = 1` the farm runs jobs inline on the calling thread through
 //! exactly the same code path, so the sequential result is the parallel
 //! result by construction.
+//!
+//! ## Process sharding
+//!
+//! The same contract extends across *process* boundaries:
+//! [`FarmSettings::shards`]` > 0` spawns that many `petal-shard` worker
+//! processes (see [`shard`]) and ships jobs to them over stdin/stdout
+//! pipes using the hand-rolled [`wire`] format. Workers return raw,
+//! un-priced outcomes; compile re-pricing still happens in the parent's
+//! submission-order merge, so `shards ∈ {0, 1, 2, 4, …}` all produce the
+//! byte-for-byte identical results the in-process farm produces. The wire
+//! format is the contract any future cross-machine transport implements.
+
+#![warn(missing_docs)]
+
+pub mod shard;
+pub mod wire;
 
 use petal_apps::{Benchmark, Instance};
 use petal_core::executor::Executor;
 use petal_core::Config;
 use petal_gpu::profile::MachineProfile;
+use shard::ShardPool;
 use std::collections::HashSet;
+use std::path::PathBuf;
 
 /// Knobs controlling the evaluation farm.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,19 +65,38 @@ pub struct FarmSettings {
     /// the calling thread; `0` means "one per available hardware thread"
     /// (resolved at farm construction). Results are identical at any value.
     pub threads: usize,
+    /// Worker *processes* evaluating candidates. `0` (the default) keeps
+    /// evaluation in-process and `threads` governs parallelism; `N > 0`
+    /// spawns `N` `petal-shard` workers instead and `threads` is unused.
+    /// Results are identical at any value, including `0` (the farm's
+    /// determinism contract).
+    pub shards: usize,
+    /// Explicit path to the `petal-shard` worker binary. `None` resolves
+    /// via the `PETAL_SHARD_BIN` environment variable, then a `petal-shard`
+    /// next to the current executable (see [`shard::resolve_shard_bin`]).
+    pub shard_bin: Option<PathBuf>,
 }
 
 impl FarmSettings {
     /// Evaluate candidates on the calling thread (the default).
     #[must_use]
     pub fn sequential() -> Self {
-        FarmSettings { threads: 1 }
+        FarmSettings { threads: 1, shards: 0, shard_bin: None }
     }
 
     /// One worker per available hardware thread.
     #[must_use]
     pub fn host_parallel() -> Self {
-        FarmSettings { threads: 0 }
+        FarmSettings { threads: 0, ..Self::sequential() }
+    }
+
+    /// Evaluate candidates on `n` `petal-shard` worker processes.
+    /// `n = 0` follows the repo-wide convention — stay in-process
+    /// (identical to [`Self::sequential`]), never a one-worker shard
+    /// pool — so `sharded(shards_flag())` composes safely.
+    #[must_use]
+    pub fn sharded(n: usize) -> Self {
+        FarmSettings { shards: n, ..Self::sequential() }
     }
 
     /// The worker count this setting resolves to on the current host.
@@ -80,7 +117,7 @@ impl Default for FarmSettings {
 }
 
 /// One candidate evaluation request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalJob {
     /// The configuration to evaluate.
     pub config: Config,
@@ -109,25 +146,42 @@ pub struct EvalResult {
     pub thread: usize,
 }
 
-/// Raw per-job outcome produced on a worker thread, before the
-/// submission-order merge prices its compiles.
-#[derive(Debug)]
-struct RawOutcome {
-    fitness: Option<f64>,
-    ran: bool,
-    makespan: f64,
-    /// `(source_hash, frontend_secs, jit_secs)` per charged compile.
-    compiles: Vec<(u64, f64, f64)>,
+/// Raw per-job outcome produced on a worker (thread *or* shard process),
+/// before the submission-order merge prices its compiles. This is what
+/// travels back over the shard wire: pricing state never leaves the
+/// parent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Virtual makespan when the trial executed and passed its check.
+    pub fitness: Option<f64>,
+    /// The executor ran to completion (even if the check then failed).
+    pub ran: bool,
+    /// Virtual makespan of the run (0 when it never ran).
+    pub makespan: f64,
+    /// `(source_hash, frontend_secs, jit_secs)` per charged compile, in
+    /// charge order, at the trial's private full price — the merge decides
+    /// what each one actually costs under the shared process/IR-cache
+    /// model.
+    pub compiles: Vec<(u64, f64, f64)>,
 }
 
-impl RawOutcome {
+impl JobOutcome {
     fn invalid() -> Self {
-        RawOutcome { fitness: None, ran: false, makespan: 0.0, compiles: Vec::new() }
+        JobOutcome { fitness: None, ran: false, makespan: 0.0, compiles: Vec::new() }
     }
 }
 
 /// Derive the deterministic scheduler seed for one trial from the tuner
 /// seed and the trial's coordinates (SplitMix64 finalization).
+///
+/// ```
+/// use petal_farm::job_seed;
+/// // Deterministic for fixed coordinates…
+/// assert_eq!(job_seed(1, 2, 3), job_seed(1, 2, 3));
+/// // …and distinct across neighbouring trial coordinates.
+/// assert_ne!(job_seed(1, 2, 3), job_seed(1, 2, 4));
+/// assert_ne!(job_seed(1, 2, 3), job_seed(1, 3, 3));
+/// ```
 #[must_use]
 pub fn job_seed(tuner_seed: u64, round: u64, trial_index: u64) -> u64 {
     let mut z = tuner_seed
@@ -143,6 +197,11 @@ pub fn job_seed(tuner_seed: u64, round: u64, trial_index: u64) -> u64 {
 #[derive(Debug)]
 pub struct EvalFarm {
     threads: usize,
+    shards: usize,
+    shard_bin: Option<PathBuf>,
+    /// Lazily spawned worker-process pool (shard mode only), kept alive
+    /// across batches of one tuning run.
+    pool: Option<ShardPool>,
     model_process_restarts: bool,
     ir_cache_enabled: bool,
     /// Kernels compiled by the modeled long-lived tuning process
@@ -162,13 +221,18 @@ impl EvalFarm {
     #[must_use]
     pub fn new(settings: &FarmSettings, model_process_restarts: bool) -> Self {
         let threads = settings.resolved_threads().max(1);
+        let shards = settings.shards;
+        let workers = if shards > 0 { shards } else { threads };
         EvalFarm {
             threads,
+            shards,
+            shard_bin: settings.shard_bin.clone(),
+            pool: None,
             model_process_restarts,
             ir_cache_enabled: true,
             warm: HashSet::new(),
             ir: HashSet::new(),
-            per_thread_trials: vec![0; threads],
+            per_thread_trials: vec![0; workers],
         }
     }
 
@@ -178,14 +242,32 @@ impl EvalFarm {
         self
     }
 
-    /// Worker threads in the pool.
+    /// Worker threads in the in-process pool (meaningful when
+    /// [`Self::shards`] is 0).
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Worker *processes* in the shard pool; 0 means in-process evaluation.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Workers of whichever kind this farm uses (shard processes when
+    /// sharded, threads otherwise).
+    fn workers(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.threads
+        }
+    }
+
     /// Trials evaluated by each worker so far (deterministic: jobs are
-    /// round-robin assigned in submission order).
+    /// round-robin assigned in submission order). One slot per shard
+    /// process when sharded, per thread otherwise.
     #[must_use]
     pub fn per_thread_trials(&self) -> &[usize] {
         &self.per_thread_trials
@@ -196,26 +278,59 @@ impl EvalFarm {
     pub fn reset(&mut self) {
         self.warm.clear();
         self.ir.clear();
-        self.per_thread_trials = vec![0; self.threads];
+        self.per_thread_trials = vec![0; self.workers()];
     }
 
     /// Evaluate a batch of jobs against `bench` on `machine`, returning
     /// results in submission order.
     ///
     /// Each job runs on its own `Executor` with a fresh simulated device;
-    /// `jobs[i]` runs on worker `i mod threads`. The batch is a barrier:
-    /// all jobs complete before any result is returned.
+    /// `jobs[i]` runs on worker `i mod workers` (threads in-process, or
+    /// `petal-shard` processes when [`FarmSettings::shards`] is set). The
+    /// batch is a barrier: all jobs complete before any result is
+    /// returned.
+    ///
+    /// ```
+    /// use petal_apps::blackscholes::BlackScholes;
+    /// use petal_apps::Benchmark;
+    /// use petal_farm::{job_seed, EvalFarm, EvalJob, FarmSettings};
+    /// use petal_gpu::profile::MachineProfile;
+    ///
+    /// let bench = BlackScholes::new(1_000);
+    /// let machine = MachineProfile::laptop();
+    /// let config = bench.program(&machine).default_config(&machine);
+    /// let jobs: Vec<EvalJob> = (0..3)
+    ///     .map(|trial| EvalJob {
+    ///         config: config.clone(),
+    ///         size: bench.input_size(),
+    ///         engine_seed: job_seed(42, 0, trial),
+    ///     })
+    ///     .collect();
+    /// let mut farm = EvalFarm::new(&FarmSettings::sequential(), false);
+    /// let results = farm.evaluate(&bench, &machine, &jobs);
+    /// assert_eq!(results.len(), 3);
+    /// assert!(results.iter().all(|r| r.ran && r.fitness.is_some()));
+    /// // Identical jobs are deterministic: same fitness every time.
+    /// assert_eq!(results[0].fitness, results[1].fitness);
+    /// ```
+    ///
+    /// # Panics
+    /// In shard mode, when the worker binary cannot be found or a worker
+    /// violates the wire protocol (the error names the worker and cause);
+    /// in thread mode, when a worker thread panics.
     pub fn evaluate(
         &mut self,
         bench: &dyn Benchmark,
         machine: &MachineProfile,
         jobs: &[EvalJob],
     ) -> Vec<EvalResult> {
-        let effective = self.threads.min(jobs.len()).max(1);
-        let raw: Vec<RawOutcome> = if effective == 1 {
-            jobs.iter().map(|j| run_job(bench, machine, j)).collect()
+        let effective = self.workers().min(jobs.len()).max(1);
+        let raw: Vec<JobOutcome> = if self.shards > 0 {
+            self.evaluate_sharded(bench, machine, jobs, effective)
+        } else if effective == 1 {
+            jobs.iter().map(|j| evaluate_job(bench, machine, j)).collect()
         } else {
-            let mut slots: Vec<Option<RawOutcome>> = Vec::new();
+            let mut slots: Vec<Option<JobOutcome>> = Vec::new();
             slots.resize_with(jobs.len(), || None);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..effective)
@@ -225,7 +340,7 @@ impl EvalFarm {
                                 .enumerate()
                                 .skip(t)
                                 .step_by(effective)
-                                .map(|(i, j)| (i, run_job(bench, machine, j)))
+                                .map(|(i, j)| (i, evaluate_job(bench, machine, j)))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -264,6 +379,32 @@ impl EvalFarm {
             .collect()
     }
 
+    /// Dispatch one batch to the `petal-shard` worker pool, (re)spawning
+    /// it when the `(benchmark, machine)` session changed.
+    fn evaluate_sharded(
+        &mut self,
+        bench: &dyn Benchmark,
+        machine: &MachineProfile,
+        jobs: &[EvalJob],
+        effective: usize,
+    ) -> Vec<JobOutcome> {
+        let spec = bench.spec();
+        if !self.pool.as_ref().is_some_and(|p| p.matches(&spec, machine)) {
+            let bin = shard::resolve_shard_bin(self.shard_bin.as_deref())
+                .unwrap_or_else(|e| panic!("{e}"));
+            self.pool = None; // drop (and reap) any stale pool first
+            self.pool = Some(
+                ShardPool::spawn(&bin, self.shards, &spec, machine)
+                    .unwrap_or_else(|e| panic!("{e}")),
+            );
+        }
+        self.pool
+            .as_mut()
+            .expect("pool spawned above")
+            .evaluate(jobs, effective)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Price one charged compile against the shared model, updating it.
     fn price_compile(&mut self, hash: u64, frontend: f64, jit: f64) -> f64 {
         if self.model_process_restarts {
@@ -288,8 +429,11 @@ impl EvalFarm {
 }
 
 /// Run one trial: resize, instantiate, execute, check. Everything here is
-/// private to the job, so this function is freely parallel.
-fn run_job(bench: &dyn Benchmark, machine: &MachineProfile, job: &EvalJob) -> RawOutcome {
+/// private to the job, so this function is freely parallel — it is the
+/// unit of work a farm thread runs in-process and a `petal-shard` worker
+/// runs across a pipe.
+#[must_use]
+pub fn evaluate_job(bench: &dyn Benchmark, machine: &MachineProfile, job: &EvalJob) -> JobOutcome {
     let sized: Box<dyn Benchmark>;
     let b: &dyn Benchmark = if job.size == bench.input_size() {
         bench
@@ -299,17 +443,17 @@ fn run_job(bench: &dyn Benchmark, machine: &MachineProfile, job: &EvalJob) -> Ra
                 sized = s;
                 &*sized
             }
-            None => return RawOutcome::invalid(),
+            None => return JobOutcome::invalid(),
         }
     };
     let Instance { mut world, plan, check } = b.instantiate(machine, &job.config);
     let mut ex = Executor::new(machine);
     ex.set_seed(job.engine_seed);
     let Ok(report) = ex.run(plan, &mut world) else {
-        return RawOutcome::invalid();
+        return JobOutcome::invalid();
     };
     let fitness = check(&world).ok().map(|()| report.virtual_time_secs());
-    RawOutcome {
+    JobOutcome {
         fitness,
         ran: true,
         makespan: report.virtual_time_secs(),
@@ -344,7 +488,8 @@ mod tests {
         let machine = MachineProfile::desktop();
         let jobs = jobs_for(&bench, &machine, 7);
         let run = |threads: usize| {
-            let mut farm = EvalFarm::new(&FarmSettings { threads }, true);
+            let mut farm =
+                EvalFarm::new(&FarmSettings { threads, ..FarmSettings::sequential() }, true);
             farm.evaluate(&bench, &machine, &jobs)
         };
         let one = run(1);
@@ -363,7 +508,8 @@ mod tests {
         let bench = BlackScholes::new(10_000);
         let machine = MachineProfile::laptop();
         let jobs = jobs_for(&bench, &machine, 6);
-        let mut farm = EvalFarm::new(&FarmSettings { threads: 4 }, false);
+        let mut farm =
+            EvalFarm::new(&FarmSettings { threads: 4, ..FarmSettings::sequential() }, false);
         let results = farm.evaluate(&bench, &machine, &jobs);
         assert!(results.iter().all(|r| r.ran));
         assert_eq!(farm.per_thread_trials(), &[2, 2, 1, 1]);

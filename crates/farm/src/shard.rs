@@ -1,0 +1,255 @@
+//! The shard front-end: a pool of `petal-shard` worker *processes*.
+//!
+//! The (crate-private) `ShardPool` spawns N workers with
+//! [`std::process::Command`], speaks
+//! the [`crate::wire`] protocol over their stdin/stdout pipes, assigns
+//! jobs round-robin by submission index (`job i → worker i mod effective`)
+//! and hands raw outcomes back to [`crate::EvalFarm`]'s submission-order
+//! merge — the same merge the in-process paths use, so compile re-pricing
+//! (and therefore the tuning result) is bit-identical at any shard count.
+//!
+//! Workers are stateless with respect to pricing: they report each trial's
+//! charged compile events verbatim and never see the warm-kernel or
+//! IR-cache sets. A pool is keyed by `(benchmark spec, machine)` and is
+//! respawned when either changes; within one tuning run it persists across
+//! generation batches.
+
+use crate::wire::{Message, WireError, WIRE_VERSION};
+use crate::{EvalJob, JobOutcome};
+use petal_gpu::profile::MachineProfile;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// A shard-dispatch failure: worker spawn/IO problems or protocol
+/// violations. Carries enough context to identify the worker at fault.
+#[derive(Debug)]
+pub struct ShardError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard farm error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        ShardError { message: e.to_string() }
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> ShardError {
+    ShardError { message: format!("{context}: {e}") }
+}
+
+/// Locate the `petal-shard` worker binary.
+///
+/// Resolution order:
+/// 1. an explicit path from [`crate::FarmSettings::shard_bin`];
+/// 2. the `PETAL_SHARD_BIN` environment variable;
+/// 3. a `petal-shard` binary next to the current executable, or one
+///    directory above it (covers `target/<profile>/deps/test-*` binaries
+///    looking up to `target/<profile>/petal-shard`).
+///
+/// # Errors
+/// When no candidate exists on disk — the message tells the operator to
+/// `cargo build -p petal_shard` or set `PETAL_SHARD_BIN`.
+pub fn resolve_shard_bin(explicit: Option<&Path>) -> Result<PathBuf, ShardError> {
+    if let Some(p) = explicit {
+        return Ok(p.to_path_buf());
+    }
+    if let Some(p) = std::env::var_os("PETAL_SHARD_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let exe_name = format!("petal-shard{}", std::env::consts::EXE_SUFFIX);
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent();
+        for _ in 0..2 {
+            if let Some(d) = dir {
+                let candidate = d.join(&exe_name);
+                if candidate.is_file() {
+                    return Ok(candidate);
+                }
+                dir = d.parent();
+            }
+        }
+    }
+    Err(ShardError {
+        message: "petal-shard binary not found; build it with \
+                  `cargo build -p petal_shard` or point PETAL_SHARD_BIN \
+                  (or FarmSettings::shard_bin) at it"
+            .to_owned(),
+    })
+}
+
+/// One spawned worker process with buffered pipes.
+#[derive(Debug)]
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Worker {
+    fn send(&mut self, msg: &Message) -> Result<(), ShardError> {
+        let mut line = msg.encode();
+        line.push('\n');
+        self.stdin.write_all(line.as_bytes()).map_err(|e| io_err("writing to shard worker", &e))
+    }
+
+    fn recv(&mut self) -> Result<Message, ShardError> {
+        let mut line = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| io_err("reading from shard worker", &e))?;
+        if n == 0 {
+            return Err(ShardError {
+                message: "shard worker closed its pipe early (it may have \
+                          crashed; check its stderr above)"
+                    .to_owned(),
+            });
+        }
+        Ok(Message::decode(line.trim_end_matches('\n'))?)
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown: DONE, close stdin, reap. A worker
+        // that already died is reaped all the same; errors are ignored
+        // because drop runs on both success and failure paths.
+        let _ = self.send(&Message::Done);
+        let _ = self.stdin.flush();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A pool of initialized `petal-shard` worker processes for one
+/// `(benchmark, machine)` session.
+#[derive(Debug)]
+pub(crate) struct ShardPool {
+    workers: Vec<Worker>,
+    /// Session key: the benchmark spec and machine this pool was
+    /// initialized with; a mismatch forces a respawn.
+    key: (String, MachineProfile),
+}
+
+impl ShardPool {
+    /// Spawn and handshake `count` workers for `(bench_spec, machine)`.
+    pub(crate) fn spawn(
+        bin: &Path,
+        count: usize,
+        bench_spec: &str,
+        machine: &MachineProfile,
+    ) -> Result<ShardPool, ShardError> {
+        let init = Message::Init {
+            version: WIRE_VERSION,
+            bench_spec: bench_spec.to_owned(),
+            machine: Box::new(machine.clone()),
+        };
+        let mut workers = Vec::with_capacity(count);
+        for i in 0..count.max(1) {
+            let mut child = Command::new(bin)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| {
+                    io_err(&format!("spawning shard worker {i} ({})", bin.display()), &e)
+                })?;
+            let stdin = child.stdin.take().expect("piped stdin");
+            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+            let mut worker = Worker { child, stdin, stdout };
+            let at = |e: ShardError| ShardError { message: format!("worker {i}: {}", e.message) };
+            worker.send(&init).map_err(at)?;
+            worker.stdin.flush().map_err(|e| io_err(&format!("worker {i}: flushing INIT"), &e))?;
+            match worker.recv().map_err(at)? {
+                Message::Ready { version } if version == WIRE_VERSION => {}
+                Message::Ready { version } => {
+                    return Err(ShardError {
+                        message: format!(
+                            "shard worker {i} speaks wire version {version}, parent speaks \
+                             {WIRE_VERSION}"
+                        ),
+                    });
+                }
+                other => {
+                    return Err(ShardError {
+                        message: format!("shard worker {i} answered INIT with {other:?}"),
+                    });
+                }
+            }
+            workers.push(worker);
+        }
+        Ok(ShardPool { workers, key: (bench_spec.to_owned(), machine.clone()) })
+    }
+
+    /// Whether this pool was initialized for `(bench_spec, machine)`.
+    pub(crate) fn matches(&self, bench_spec: &str, machine: &MachineProfile) -> bool {
+        self.key.0 == bench_spec && &self.key.1 == machine
+    }
+
+    /// Evaluate a batch: `jobs[i]` goes to worker `i mod effective`, and
+    /// outcomes come back in submission order.
+    ///
+    /// Writes and reads are interleaved with a bounded number of
+    /// outstanding jobs per worker ([`MAX_OUTSTANDING`]), so a batch of
+    /// any size can never deadlock on full OS pipe buffers: the parent
+    /// only blocks writing when a worker's queue is short, and only
+    /// blocks reading results that worker is guaranteed to produce.
+    pub(crate) fn evaluate(
+        &mut self,
+        jobs: &[EvalJob],
+        effective: usize,
+    ) -> Result<Vec<JobOutcome>, ShardError> {
+        /// Cap on un-read jobs queued at one worker. Keeps worst-case
+        /// bytes in flight per pipe (jobs out, results back) comfortably
+        /// under the smallest common pipe buffer (64 KiB on Linux) even
+        /// with multi-kilobyte config texts.
+        const MAX_OUTSTANDING: usize = 8;
+
+        let effective = effective.clamp(1, self.workers.len().max(1));
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        // Per-worker FIFO of submitted-but-unread job indices.
+        let mut outstanding: Vec<std::collections::VecDeque<usize>> =
+            vec![std::collections::VecDeque::new(); effective];
+        for (i, job) in jobs.iter().enumerate() {
+            let w = i % effective;
+            if outstanding[w].len() >= MAX_OUTSTANDING {
+                let expected = outstanding[w].pop_front().expect("non-empty queue");
+                outcomes[expected] = Some(self.read_result(w, expected)?);
+            }
+            self.workers[w]
+                .send(&Message::Job { index: i as u64, job: job.clone() })
+                .map_err(|e| ShardError { message: format!("worker {w}: {}", e.message) })?;
+            outstanding[w].push_back(i);
+        }
+        for (w, queue) in outstanding.iter_mut().enumerate() {
+            while let Some(expected) = queue.pop_front() {
+                outcomes[expected] = Some(self.read_result(w, expected)?);
+            }
+        }
+        Ok(outcomes.into_iter().map(|o| o.expect("every job answered")).collect())
+    }
+
+    /// Read the next RESULT from worker `w`, which must answer `expected`
+    /// (workers reply strictly in arrival order). Every failure names the
+    /// worker, so a dead process in a large pool is identifiable.
+    fn read_result(&mut self, w: usize, expected: usize) -> Result<JobOutcome, ShardError> {
+        let at = |e: ShardError| ShardError { message: format!("worker {w}: {}", e.message) };
+        match self.workers[w].recv().map_err(at)? {
+            Message::Result { index, outcome } if index == expected as u64 => Ok(outcome),
+            Message::Result { index, .. } => Err(ShardError {
+                message: format!("worker {w} answered job {index} when {expected} was expected"),
+            }),
+            other => Err(ShardError { message: format!("worker {w} answered JOB with {other:?}") }),
+        }
+    }
+}

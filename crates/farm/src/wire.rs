@@ -1,0 +1,533 @@
+//! The shard wire format: line-delimited records with length-prefixed
+//! fields.
+//!
+//! This is the contract between the farm's shard dispatcher (parent side)
+//! and a `petal-shard` worker process — and the contract any future
+//! cross-machine transport (sockets, a work queue) must implement. The
+//! workspace is offline and carries no serde, so the format is hand-rolled
+//! and deliberately tiny:
+//!
+//! * **One record per line.** A record is a `TAG` followed by zero or more
+//!   fields, terminated by `\n`. Tags are upper-case ASCII
+//!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`).
+//! * **Length-prefixed fields.** Each field is ` <len>:<bytes>` where
+//!   `len` is the decimal byte length of `<bytes>` *after* escaping. The
+//!   prefix makes spaces inside fields unambiguous without quoting.
+//! * **Escaping keeps records line-delimited.** Field bytes escape `\`,
+//!   `\n` and `\r` as `\\`, `\n`, `\r` (two characters each), so a record
+//!   never contains a literal newline and a transport can frame on lines.
+//! * **Exact floats.** `f64` values travel as exact IEEE-754 bit
+//!   patterns (`0x` + 16 hex digits, the shared
+//!   [`petal_apps::spec_f64`] codec) — determinism across the process
+//!   boundary is the whole point, so decimal round-trips are not
+//!   trusted.
+//! * **Versioned handshake.** `INIT` and `READY` carry
+//!   [`WIRE_VERSION`]; a worker refuses a version it does not speak and
+//!   the parent refuses a worker that answers with a different one.
+//!
+//! Message flow: parent sends `INIT` (version, benchmark spec, machine
+//! profile), worker answers `READY` (version). Then any number of `JOB`
+//! records (index, size, engine seed, config text), each answered by one
+//! `RESULT` (index, raw outcome incl. the trial's compile events — pricing
+//! happens in the parent's submission-order merge, never in a worker).
+//! `DONE` (or EOF) ends the session.
+
+use crate::{EvalJob, JobOutcome};
+use petal_core::Config;
+use petal_gpu::profile::{CpuProfile, GpuProfile, MachineProfile};
+use std::fmt;
+
+/// Protocol version spoken by this build (bumped on any wire change).
+pub const WIRE_VERSION: u64 = 1;
+
+/// A wire-format violation (framing, field count/type, version skew).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed, for the operator.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        WireError { message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Escape a field payload so the record stays on one line.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> Result<String, WireError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(WireError::new(format!("bad escape `\\{other:?}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// One parsed line: a tag plus decoded field payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record kind (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`).
+    pub tag: String,
+    /// Decoded (unescaped) field payloads, in order.
+    pub fields: Vec<String>,
+}
+
+impl Record {
+    /// New record from a tag and decoded fields.
+    #[must_use]
+    pub fn new(tag: &str, fields: Vec<String>) -> Self {
+        Record { tag: tag.to_owned(), fields }
+    }
+
+    /// Encode as one line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = self.tag.clone();
+        for f in &self.fields {
+            let esc = escape(f);
+            out.push(' ');
+            out.push_str(&esc.len().to_string());
+            out.push(':');
+            out.push_str(&esc);
+        }
+        out
+    }
+
+    /// Parse one line (without its newline) back into a record.
+    ///
+    /// # Errors
+    /// Any framing violation: empty line, malformed length prefix, short
+    /// field, missing separator, or a bad escape sequence.
+    pub fn parse(line: &str) -> Result<Record, WireError> {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if line.is_empty() {
+            return Err(WireError::new("empty record"));
+        }
+        let (tag, mut rest) = match line.split_once(' ') {
+            Some((t, r)) => (t, r),
+            None => (line, ""),
+        };
+        if tag.is_empty() || !tag.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(WireError::new(format!("bad tag `{tag}`")));
+        }
+        let mut fields = Vec::new();
+        while !rest.is_empty() {
+            let (len_str, tail) = rest
+                .split_once(':')
+                .ok_or_else(|| WireError::new("field without `len:` prefix"))?;
+            let len: usize = len_str
+                .parse()
+                .map_err(|_| WireError::new(format!("bad field length `{len_str}`")))?;
+            if tail.len() < len {
+                return Err(WireError::new("truncated field"));
+            }
+            if !tail.is_char_boundary(len) {
+                return Err(WireError::new("field length splits a UTF-8 character"));
+            }
+            fields.push(unescape(&tail[..len])?);
+            rest = match tail[len..].strip_prefix(' ') {
+                Some(r) => r,
+                None if tail.len() == len => "",
+                None => return Err(WireError::new("missing field separator")),
+            };
+        }
+        Ok(Record { tag: tag.to_owned(), fields })
+    }
+}
+
+/// Typed cursor over a record's fields.
+struct FieldReader<'a> {
+    record: &'a Record,
+    next: usize,
+}
+
+impl<'a> FieldReader<'a> {
+    fn new(record: &'a Record) -> Self {
+        FieldReader { record, next: 0 }
+    }
+
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        let f = self
+            .record
+            .fields
+            .get(self.next)
+            .ok_or_else(|| WireError::new(format!("{} record too short", self.record.tag)))?;
+        self.next += 1;
+        Ok(f)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.str()?;
+        s.parse().map_err(|_| WireError::new(format!("bad integer `{s}`")))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        let s = self.str()?;
+        s.parse().map_err(|_| WireError::new(format!("bad integer `{s}`")))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.str()? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            s => Err(WireError::new(format!("bad bool `{s}`"))),
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let s = self.str()?;
+        petal_apps::spec_f64_parse(s).map_err(|e| WireError::new(format!("bad f64 field: {e}")))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.next == self.record.fields.len() {
+            Ok(())
+        } else {
+            Err(WireError::new(format!("{} record has trailing fields", self.record.tag)))
+        }
+    }
+}
+
+/// Exact-bit f64 text, shared with the benchmark-spec format so the two
+/// "exact float" encodings stay one codec ([`petal_apps::spec_f64`]).
+fn fmt_f64(v: f64) -> String {
+    petal_apps::spec_f64(v)
+}
+
+/// Everything that travels over a shard pipe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Parent → worker: handshake carrying the session's benchmark and
+    /// machine. Sent exactly once, before any job.
+    Init {
+        /// Sender's [`WIRE_VERSION`].
+        version: u64,
+        /// [`petal_apps::Benchmark::spec`] line identifying the benchmark.
+        bench_spec: String,
+        /// The complete machine profile to evaluate on (full profile, not
+        /// a codename: custom-calibrated machines must shard too). Boxed
+        /// because it dwarfs every other message variant.
+        machine: Box<MachineProfile>,
+    },
+    /// Worker → parent: handshake acknowledgement.
+    Ready {
+        /// Responder's [`WIRE_VERSION`].
+        version: u64,
+    },
+    /// Parent → worker: evaluate one candidate.
+    Job {
+        /// Submission index; echoed back in the matching [`Message::Result`].
+        index: u64,
+        /// The evaluation request.
+        job: EvalJob,
+    },
+    /// Worker → parent: the raw outcome of one job (un-priced compile
+    /// events included — the parent's submission-order merge prices them).
+    Result {
+        /// The `index` of the [`Message::Job`] this answers.
+        index: u64,
+        /// Raw trial outcome.
+        outcome: JobOutcome,
+    },
+    /// Parent → worker: end of session; the worker exits cleanly.
+    Done,
+}
+
+impl Message {
+    /// Encode as one line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Message::Init { version, bench_spec, machine } => {
+                let mut fields = vec![version.to_string(), bench_spec.clone()];
+                encode_machine(machine, &mut fields);
+                Record::new("INIT", fields).encode()
+            }
+            Message::Ready { version } => Record::new("READY", vec![version.to_string()]).encode(),
+            Message::Job { index, job } => Record::new(
+                "JOB",
+                vec![
+                    index.to_string(),
+                    job.size.to_string(),
+                    job.engine_seed.to_string(),
+                    job.config.to_string(),
+                ],
+            )
+            .encode(),
+            Message::Result { index, outcome } => {
+                let mut fields = vec![
+                    index.to_string(),
+                    u64::from(outcome.ran).to_string(),
+                    u64::from(outcome.fitness.is_some()).to_string(),
+                    fmt_f64(outcome.fitness.unwrap_or(0.0)),
+                    fmt_f64(outcome.makespan),
+                    outcome.compiles.len().to_string(),
+                ];
+                for &(hash, frontend, jit) in &outcome.compiles {
+                    fields.push(hash.to_string());
+                    fields.push(fmt_f64(frontend));
+                    fields.push(fmt_f64(jit));
+                }
+                Record::new("RESULT", fields).encode()
+            }
+            Message::Done => Record::new("DONE", Vec::new()).encode(),
+        }
+    }
+
+    /// Parse one line back into a message.
+    ///
+    /// # Errors
+    /// Framing errors from [`Record::parse`], unknown tags, wrong field
+    /// counts or types, and config texts that do not parse.
+    pub fn decode(line: &str) -> Result<Message, WireError> {
+        let record = Record::parse(line)?;
+        let mut r = FieldReader::new(&record);
+        let msg = match record.tag.as_str() {
+            "INIT" => {
+                let version = r.u64()?;
+                let bench_spec = r.str()?.to_owned();
+                let machine = Box::new(decode_machine(&mut r)?);
+                Message::Init { version, bench_spec, machine }
+            }
+            "READY" => Message::Ready { version: r.u64()? },
+            "JOB" => {
+                let index = r.u64()?;
+                let size = r.u64()?;
+                let engine_seed = r.u64()?;
+                let config: Config = r
+                    .str()?
+                    .parse()
+                    .map_err(|e| WireError::new(format!("bad config in JOB: {e}")))?;
+                Message::Job { index, job: EvalJob { config, size, engine_seed } }
+            }
+            "RESULT" => {
+                let index = r.u64()?;
+                let ran = r.bool()?;
+                let has_fitness = r.bool()?;
+                let fitness_bits = r.f64()?;
+                let makespan = r.f64()?;
+                let n = r.usize()?;
+                let mut compiles = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    compiles.push((r.u64()?, r.f64()?, r.f64()?));
+                }
+                Message::Result {
+                    index,
+                    outcome: JobOutcome {
+                        fitness: has_fitness.then_some(fitness_bits),
+                        ran,
+                        makespan,
+                        compiles,
+                    },
+                }
+            }
+            "DONE" => Message::Done,
+            tag => return Err(WireError::new(format!("unknown tag `{tag}`"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Flatten a machine profile into wire fields (fixed order; see the module
+/// docs for why the full profile travels instead of a codename).
+fn encode_machine(m: &MachineProfile, fields: &mut Vec<String>) {
+    fields.push(m.codename.clone());
+    fields.push(m.os.clone());
+    fields.push(m.opencl_runtime.clone());
+    fields.push(m.cpu.name.clone());
+    fields.push(m.cpu.cores.to_string());
+    fields.push(fmt_f64(m.cpu.flops_per_core));
+    fields.push(fmt_f64(m.cpu.mem_bw));
+    fields.push(fmt_f64(m.cpu.task_overhead));
+    fields.push(fmt_f64(m.cpu.steal_latency));
+    match &m.gpu {
+        None => fields.push("0".to_owned()),
+        Some(g) => {
+            fields.push("1".to_owned());
+            fields.push(g.name.clone());
+            fields.push(fmt_f64(g.flops));
+            fields.push(fmt_f64(g.global_bw));
+            fields.push(fmt_f64(g.local_bw));
+            fields.push(fmt_f64(g.pcie_bw));
+            fields.push(fmt_f64(g.launch_overhead));
+            fields.push(fmt_f64(g.transfer_overhead));
+            fields.push(fmt_f64(g.alloc_overhead));
+            fields.push(fmt_f64(g.alloc_bytes_factor));
+            fields.push(fmt_f64(g.read_cache_factor));
+            fields.push(fmt_f64(g.group_overhead));
+            fields.push(fmt_f64(g.barrier_overhead));
+            fields.push(fmt_f64(g.compile_frontend));
+            fields.push(fmt_f64(g.compile_jit));
+            fields.push(g.max_work_group.to_string());
+            fields.push(g.warp.to_string());
+            fields.push(u64::from(g.cpu_backed).to_string());
+        }
+    }
+}
+
+fn decode_machine(r: &mut FieldReader<'_>) -> Result<MachineProfile, WireError> {
+    let codename = r.str()?.to_owned();
+    let os = r.str()?.to_owned();
+    let opencl_runtime = r.str()?.to_owned();
+    let cpu = CpuProfile {
+        name: r.str()?.to_owned(),
+        cores: r.usize()?,
+        flops_per_core: r.f64()?,
+        mem_bw: r.f64()?,
+        task_overhead: r.f64()?,
+        steal_latency: r.f64()?,
+    };
+    let gpu = if r.bool()? {
+        Some(GpuProfile {
+            name: r.str()?.to_owned(),
+            flops: r.f64()?,
+            global_bw: r.f64()?,
+            local_bw: r.f64()?,
+            pcie_bw: r.f64()?,
+            launch_overhead: r.f64()?,
+            transfer_overhead: r.f64()?,
+            alloc_overhead: r.f64()?,
+            alloc_bytes_factor: r.f64()?,
+            read_cache_factor: r.f64()?,
+            group_overhead: r.f64()?,
+            barrier_overhead: r.f64()?,
+            compile_frontend: r.f64()?,
+            compile_jit: r.f64()?,
+            max_work_group: r.usize()?,
+            warp: r.usize()?,
+            cpu_backed: r.bool()?,
+        })
+    } else {
+        None
+    };
+    Ok(MachineProfile { codename, os, opencl_runtime, cpu, gpu })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petal_core::config::{Selector, Tunable};
+
+    #[test]
+    fn records_with_hostile_payloads_round_trip() {
+        let r = Record::new(
+            "INIT",
+            vec![
+                String::new(),
+                "plain".to_owned(),
+                "spaces and 7:colons".to_owned(),
+                "line\nbreaks\r\nand \\backslashes\\".to_owned(),
+                "unicode: héllo ∞".to_owned(),
+            ],
+        );
+        let line = r.encode();
+        assert!(!line.contains('\n'), "records must stay line-delimited");
+        assert_eq!(Record::parse(&line).expect("parses"), r);
+    }
+
+    #[test]
+    fn framing_violations_are_rejected() {
+        for bad in [
+            "",
+            "lower 1:x",
+            "INIT 5:abc",
+            "INIT x:abc",
+            "INIT 3:abcd",
+            "INIT 3:abc4:defg extra",
+            "INIT 2:a\\q",
+        ] {
+            assert!(Record::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let mut config = Config::new();
+        config.set_selector("sort", Selector::new(vec![64, 4096], vec![2, 0, 1], 3));
+        config.set_tunable("sort.gpu_ratio", Tunable::new(3, 0, 8));
+        let outcome = JobOutcome {
+            fitness: Some(1.5e-4),
+            ran: true,
+            makespan: 1.25e-4,
+            compiles: vec![(42, 1.2, 0.8), (7, 0.9, 0.5)],
+        };
+        let messages = vec![
+            Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: "sort n=4096".to_owned(),
+                machine: Box::new(MachineProfile::desktop()),
+            },
+            Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: "sort n=4096".to_owned(),
+                machine: Box::new(MachineProfile::manycore()), // gpu: None path
+            },
+            Message::Ready { version: WIRE_VERSION },
+            Message::Job { index: 9, job: EvalJob { config, size: 4096, engine_seed: 0xfeed } },
+            Message::Result { index: 9, outcome },
+            Message::Result {
+                index: 10,
+                outcome: JobOutcome {
+                    fitness: None,
+                    ran: false,
+                    makespan: 0.0,
+                    compiles: Vec::new(),
+                },
+            },
+            Message::Done,
+        ];
+        for msg in messages {
+            let line = msg.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Message::decode(&line).expect("decodes"), msg);
+        }
+    }
+
+    #[test]
+    fn machine_profiles_survive_exactly() {
+        for m in MachineProfile::extended() {
+            let msg = Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: "x n=1".to_owned(),
+                machine: Box::new(m.clone()),
+            };
+            let Message::Init { machine, .. } = Message::decode(&msg.encode()).expect("decodes")
+            else {
+                panic!("wrong tag");
+            };
+            assert_eq!(*machine, m);
+        }
+    }
+}

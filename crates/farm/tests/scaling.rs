@@ -26,7 +26,7 @@ fn eight_threads_beat_one_on_parallel_hosts() {
         .collect();
 
     let time = |threads: usize| {
-        let mut farm = EvalFarm::new(&FarmSettings { threads }, true);
+        let mut farm = EvalFarm::new(&FarmSettings { threads, ..FarmSettings::sequential() }, true);
         let t0 = Instant::now();
         let results = farm.evaluate(&bench, &machine, &jobs);
         (t0.elapsed(), results)

@@ -1,0 +1,147 @@
+//! Property tests for the shard wire format: encode/decode round-trips
+//! over adversarial payloads (the ISSUE's "wire-format round-trip
+//! proptest"). The format is the contract future cross-machine
+//! transports implement, so the round-trip must hold for *any* record —
+//! including fields full of newlines, backslashes, colons, spaces and
+//! multi-byte characters, and any f64 bit pattern (NaNs included, since
+//! they compare by bits here).
+
+use petal_core::config::{Selector, Tunable};
+use petal_core::Config;
+use petal_farm::wire::{Message, Record, WIRE_VERSION};
+use petal_farm::{EvalJob, JobOutcome};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Map a u64 onto a short string over a hostile alphabet: escapes,
+/// separators, framing characters and multi-byte code points.
+fn hostile_string(seed: u64) -> String {
+    const PALETTE: [&str; 12] = ["\\", "\n", "\r", ":", " ", "a", "7", "é", "∞", "\\n", "0x", ""];
+    let mut s = String::new();
+    let mut z = seed;
+    for _ in 0..(seed % 9) {
+        s.push_str(PALETTE[(z % PALETTE.len() as u64) as usize]);
+        z = z.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    }
+    s
+}
+
+/// Build a valid `Config` from raw integers (selectors need strictly
+/// increasing cutoffs and in-range algorithm indices).
+fn config_from(raw: &[(u64, u64)], tunables: &[(i64, i64)]) -> Config {
+    let mut cfg = Config::new();
+    for (i, &(cut_seed, alg_seed)) in raw.iter().enumerate() {
+        let num_algs = 2 + (alg_seed % 5) as usize;
+        let cutoff = 1 + cut_seed % 1_000_000;
+        cfg.set_selector(
+            &format!("site{i}"),
+            Selector::new(
+                vec![cutoff],
+                vec![(alg_seed % num_algs as u64) as usize, (cut_seed % num_algs as u64) as usize],
+                num_algs,
+            ),
+        );
+    }
+    for (i, &(value, span)) in tunables.iter().enumerate() {
+        let min = value.min(0);
+        let max = value.max(0) + span.abs() % 1024 + 1;
+        cfg.set_tunable(&format!("knob{i}"), Tunable::new(value, min, max));
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn records_round_trip_over_hostile_fields(seeds in vec(any::<u64>(), 0..8)) {
+        let record = Record::new("RESULT", seeds.iter().map(|&s| hostile_string(s)).collect());
+        let line = record.encode();
+        prop_assert!(!line.contains('\n'), "encoding must stay line-delimited");
+        prop_assert!(!line.contains('\r'));
+        prop_assert_eq!(Record::parse(&line).expect("round-trip parse"), record);
+    }
+
+    #[test]
+    fn job_messages_round_trip(
+        index in any::<u64>(),
+        size in any::<u64>(),
+        engine_seed in any::<u64>(),
+        selectors in vec((1u64..u64::MAX, any::<u64>()), 0..4),
+        tunables in vec((-1000i64..1000, any::<i64>()), 0..4),
+    ) {
+        let job = EvalJob { config: config_from(&selectors, &tunables), size, engine_seed };
+        let msg = Message::Job { index, job };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn result_messages_round_trip_any_bit_pattern(
+        index in any::<u64>(),
+        ran in any::<bool>(),
+        fitness_bits in any::<u64>(),
+        has_fitness in any::<bool>(),
+        makespan_bits in any::<u64>(),
+        compiles in vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..6),
+    ) {
+        let outcome = JobOutcome {
+            fitness: has_fitness.then(|| f64::from_bits(fitness_bits)),
+            ran,
+            makespan: f64::from_bits(makespan_bits),
+            compiles: compiles
+                .iter()
+                .map(|&(h, f, j)| (h, f64::from_bits(f), f64::from_bits(j)))
+                .collect(),
+        };
+        let msg = Message::Result { index, outcome };
+        let decoded = Message::decode(&msg.encode()).expect("decodes");
+        // Compare by bits, not by PartialEq: NaN payloads must survive too.
+        let Message::Result { index: di, outcome: dout } = decoded else {
+            panic!("wrong tag");
+        };
+        let Message::Result { index: ei, outcome: eout } = msg else { unreachable!() };
+        prop_assert_eq!(di, ei);
+        prop_assert_eq!(dout.ran, eout.ran);
+        prop_assert_eq!(dout.fitness.map(f64::to_bits), eout.fitness.map(f64::to_bits));
+        prop_assert_eq!(dout.makespan.to_bits(), eout.makespan.to_bits());
+        prop_assert_eq!(dout.compiles.len(), eout.compiles.len());
+        for (d, e) in dout.compiles.iter().zip(&eout.compiles) {
+            prop_assert_eq!(d.0, e.0);
+            prop_assert_eq!(d.1.to_bits(), e.1.to_bits());
+            prop_assert_eq!(d.2.to_bits(), e.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn init_messages_round_trip_mutated_machines(
+        which in 0usize..5,
+        cores in 1usize..256,
+        flops_bits in any::<u64>(),
+        spec_seed in any::<u64>(),
+    ) {
+        // Mutate a preset so the wire proves it carries *arbitrary*
+        // profiles, not just the five built-ins a codename could name.
+        let mut machine = petal_gpu::profile::MachineProfile::extended().remove(which);
+        machine.cpu.cores = cores;
+        machine.cpu.flops_per_core = f64::from_bits(flops_bits);
+        machine.codename = hostile_string(spec_seed);
+        let msg = Message::Init {
+            version: WIRE_VERSION,
+            bench_spec: hostile_string(spec_seed.wrapping_add(1)),
+            machine: Box::new(machine.clone()),
+        };
+        let Message::Init { machine: decoded, bench_spec, .. } =
+            Message::decode(&msg.encode()).expect("decodes")
+        else {
+            panic!("wrong tag");
+        };
+        prop_assert_eq!(bench_spec, hostile_string(spec_seed.wrapping_add(1)));
+        prop_assert_eq!(decoded.codename, machine.codename);
+        prop_assert_eq!(decoded.cpu.cores, machine.cpu.cores);
+        prop_assert_eq!(
+            decoded.cpu.flops_per_core.to_bits(),
+            machine.cpu.flops_per_core.to_bits()
+        );
+        prop_assert_eq!(decoded.gpu.is_some(), machine.gpu.is_some());
+    }
+}

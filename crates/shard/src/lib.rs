@@ -1,0 +1,208 @@
+//! # petal-shard — the evaluation-farm worker process
+//!
+//! The worker half of the farm's process-sharding front-end
+//! ([`petal_farm::shard`]): a tiny loop that reads
+//! [`petal_farm::wire`] messages from stdin, evaluates jobs with
+//! [`petal_farm::evaluate_job`] — the *same* function the in-process farm
+//! runs on its threads — and writes raw outcomes to stdout.
+//!
+//! The worker is deliberately stateless with respect to the tuning run:
+//! it never sees the warm-kernel or IR-cache pricing sets (those fold over
+//! the parent's submission-order merge), so any job assignment produces
+//! bit-identical tuning results. One worker serves one
+//! `(benchmark, machine)` session, established by the `INIT` handshake;
+//! the parent respawns workers when the session changes.
+
+#![warn(missing_docs)]
+
+use petal_apps::{benchmark_from_spec, Benchmark};
+use petal_farm::wire::{Message, Record, WIRE_VERSION};
+use petal_gpu::profile::MachineProfile;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A fatal worker error: protocol violation, unknown benchmark spec, or a
+/// broken pipe to the parent.
+#[derive(Debug)]
+pub struct ServeError {
+    /// Human-readable cause, printed to stderr by the binary.
+    pub message: String,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+fn err(message: impl Into<String>) -> ServeError {
+    ServeError { message: message.into() }
+}
+
+fn send(output: &mut impl Write, msg: &Message) -> Result<(), ServeError> {
+    let mut line = msg.encode();
+    line.push('\n');
+    output
+        .write_all(line.as_bytes())
+        .and_then(|()| output.flush())
+        .map_err(|e| err(format!("writing to parent: {e}")))
+}
+
+/// Read one line; `Ok(None)` on clean EOF.
+fn recv_line(input: &mut impl BufRead) -> Result<Option<String>, ServeError> {
+    let mut line = String::new();
+    let n = input.read_line(&mut line).map_err(|e| err(format!("reading from parent: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Serve one shard session over a message stream: `INIT` → `READY`, then
+/// `JOB` → `RESULT` until `DONE` or EOF.
+///
+/// This is the whole worker; `main` merely binds it to stdin/stdout. It
+/// is generic over the streams so tests can drive a session through
+/// in-memory buffers.
+///
+/// # Errors
+/// On any protocol violation (bad handshake, malformed record, unknown
+/// benchmark spec) or I/O failure. The parent treats a dead worker as a
+/// fatal dispatch error, so erring out loudly is correct.
+pub fn serve(mut input: impl BufRead, mut output: impl Write) -> Result<(), ServeError> {
+    let first = recv_line(&mut input)?.ok_or_else(|| err("EOF before INIT"))?;
+    // Check the advertised version *before* decoding the full INIT: a
+    // future wire version may change the INIT layout itself, and the
+    // version-skew diagnostic must fire in exactly that case (a layout
+    // decode error would otherwise mask it).
+    let record = Record::parse(&first).map_err(|e| err(e.to_string()))?;
+    if record.tag == "INIT" {
+        match record.fields.first().map(|v| v.parse::<u64>()) {
+            Some(Ok(version)) if version != WIRE_VERSION => {
+                return Err(err(format!(
+                    "parent speaks wire version {version}, worker speaks {WIRE_VERSION}"
+                )));
+            }
+            Some(Ok(_)) => {}
+            _ => return Err(err("INIT carries no parseable wire version")),
+        }
+    }
+    let (bench, machine): (Box<dyn Benchmark>, MachineProfile) =
+        match Message::decode(&first).map_err(|e| err(e.to_string()))? {
+            Message::Init { bench_spec, machine, .. } => {
+                let bench = benchmark_from_spec(&bench_spec)
+                    .map_err(|e| err(format!("bad benchmark spec `{bench_spec}`: {e}")))?;
+                (bench, *machine)
+            }
+            other => return Err(err(format!("expected INIT, got {other:?}"))),
+        };
+    send(&mut output, &Message::Ready { version: WIRE_VERSION })?;
+
+    while let Some(line) = recv_line(&mut input)? {
+        match Message::decode(&line).map_err(|e| err(e.to_string()))? {
+            Message::Job { index, job } => {
+                let outcome = petal_farm::evaluate_job(&*bench, &machine, &job);
+                send(&mut output, &Message::Result { index, outcome })?;
+            }
+            Message::Done => return Ok(()),
+            other => return Err(err(format!("expected JOB or DONE, got {other:?}"))),
+        }
+    }
+    Ok(()) // EOF without DONE: parent died or closed early; exit quietly.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petal_apps::blackscholes::BlackScholes;
+    use petal_farm::{job_seed, EvalJob};
+
+    /// Drive a whole session through in-memory buffers and check the
+    /// worker's answers equal direct `evaluate_job` calls.
+    #[test]
+    fn serve_answers_jobs_like_the_in_process_farm() {
+        let bench = BlackScholes::new(2_000);
+        let machine = MachineProfile::laptop();
+        let config = bench.program(&machine).default_config(&machine);
+        let jobs: Vec<EvalJob> = (0..3)
+            .map(|i| EvalJob {
+                config: config.clone(),
+                size: bench.input_size(),
+                engine_seed: job_seed(5, 0, i),
+            })
+            .collect();
+
+        let mut session = String::new();
+        session.push_str(
+            &Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: bench.spec(),
+                machine: Box::new(machine.clone()),
+            }
+            .encode(),
+        );
+        session.push('\n');
+        for (i, job) in jobs.iter().enumerate() {
+            session.push_str(&Message::Job { index: i as u64, job: job.clone() }.encode());
+            session.push('\n');
+        }
+        session.push_str(&Message::Done.encode());
+        session.push('\n');
+
+        let mut out = Vec::new();
+        serve(session.as_bytes(), &mut out).expect("session succeeds");
+
+        let replies: Vec<Message> = String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .map(|l| Message::decode(l).expect("decodes"))
+            .collect();
+        assert_eq!(replies[0], Message::Ready { version: WIRE_VERSION });
+        assert_eq!(replies.len(), 1 + jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let expected = petal_farm::evaluate_job(&bench, &machine, job);
+            assert_eq!(
+                replies[1 + i],
+                Message::Result { index: i as u64, outcome: expected },
+                "job {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_handshakes_are_fatal() {
+        let mut out = Vec::new();
+        let e = serve("DONE\n".as_bytes(), &mut out).expect_err("DONE before INIT");
+        assert!(e.message.contains("expected INIT"), "{e}");
+
+        let wrong_version = Message::Init {
+            version: WIRE_VERSION + 1,
+            bench_spec: "sort n=64".to_owned(),
+            machine: Box::new(MachineProfile::desktop()),
+        };
+        let e = serve(format!("{}\n", wrong_version.encode()).as_bytes(), &mut Vec::new())
+            .expect_err("version skew");
+        assert!(e.message.contains("wire version"), "{e}");
+
+        // A future INIT layout this worker cannot decode must still
+        // produce the version-skew diagnostic, not a framing error:
+        // version is field 0 and is checked before full decode.
+        let e = serve("INIT 1:2 7:future!\n".as_bytes(), &mut Vec::new())
+            .expect_err("skew with unknown layout");
+        assert!(e.message.contains("wire version 2"), "{e}");
+
+        let bad_spec = Message::Init {
+            version: WIRE_VERSION,
+            bench_spec: "warp10 n=64".to_owned(),
+            machine: Box::new(MachineProfile::desktop()),
+        };
+        let e = serve(format!("{}\n", bad_spec.encode()).as_bytes(), &mut Vec::new())
+            .expect_err("unknown spec");
+        assert!(e.message.contains("bad benchmark spec"), "{e}");
+    }
+}

@@ -1,0 +1,11 @@
+//! The `petal-shard` worker binary: serve one shard session on
+//! stdin/stdout, report fatal errors on stderr (the parent inherits it).
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = petal_shard::serve(stdin.lock(), stdout.lock()) {
+        eprintln!("petal-shard: {e}");
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,11 @@ use proptest::prelude::*;
 
 /// Smoke-budget settings with an explicit seed and thread count.
 fn settings(seed: u64, threads: usize) -> TunerSettings {
-    TunerSettings { seed, farm: FarmSettings { threads }, ..TunerSettings::smoke() }
+    TunerSettings {
+        seed,
+        farm: FarmSettings { threads, ..FarmSettings::sequential() },
+        ..TunerSettings::smoke()
+    }
 }
 
 /// Shrink a benchmark to test-friendly sizes (same trick as the benches).
