@@ -24,7 +24,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 echo "== smoke-mode criterion suites (PETAL_SMOKE=1, reduced sizes/samples)"
 PETAL_SMOKE=1 cargo bench --offline
 
-echo "== bench_baseline --check (virtual-time reference numbers)"
-cargo run --release --offline -p petal_bench --bin bench_baseline -- --check
+echo "== bench_baseline --check-virtual (bit-exact virtual-time reference numbers)"
+cargo run --release --offline -p petal_bench --bin bench_baseline -- --check-virtual
+
+echo "== bench_hotpath --check (scheduler speedup regression floor, smoke reps)"
+PETAL_SMOKE=1 cargo run --release --offline -p petal_bench --bin bench_hotpath -- --check
 
 echo "CI green"

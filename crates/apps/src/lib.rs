@@ -138,7 +138,16 @@ fn spec_f64_bits(tokens: &[&str], key: &str) -> Result<f64, String> {
 /// never drift apart.
 #[must_use]
 pub fn spec_f64(value: f64) -> String {
-    format!("0x{:016x}", value.to_bits())
+    let mut out = String::with_capacity(18);
+    spec_f64_into(value, &mut out);
+    out
+}
+
+/// [`spec_f64`] appended to an existing buffer — the allocation-free form
+/// the shard wire encoder uses on its per-job hot path.
+pub fn spec_f64_into(value: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "0x{:016x}", value.to_bits());
 }
 
 /// Decode an `f64` encoded by [`spec_f64`], bit-exactly (NaN payloads

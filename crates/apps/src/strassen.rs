@@ -16,7 +16,9 @@
 
 use crate::workload::random_matrix;
 use crate::Instance;
-use petal_blas::gemm::{blocked_gemm, gemm_flops, lapack_gemm, naive_gemm, transposed_gemm};
+use petal_blas::gemm::{
+    blocked_gemm_into, gemm_flops, lapack_gemm, lapack_gemm_into, naive_gemm, transposed_gemm_into,
+};
 use petal_blas::Matrix;
 use petal_core::plan::{NativeStep, Placement, PlanBuilder, StencilStep, StepId};
 use petal_core::program::ChoiceSite;
@@ -119,8 +121,11 @@ pub fn build_matmul(
                     writes: vec![c],
                     run: Box::new(move |w: &mut World, ctx| {
                         let extra = w.ensure_host(a, ctx.now()) + w.ensure_host(b, ctx.now());
-                        let (result, work) = leaf_gemm(leaf, w.get(a), w.get(b));
-                        w.set(c, result);
+                        // The output was preallocated (all zeros) at plan
+                        // build; the kernel writes it in place.
+                        let mut out = w.take_matrix(c);
+                        let work = leaf_gemm_into(&mut out, leaf, w.get(a), w.get(b));
+                        w.restore_matrix(c, out);
                         Charge::WorkPlusSecs(work, extra)
                     }),
                 },
@@ -131,16 +136,29 @@ pub fn build_matmul(
     }
 }
 
-/// Execute and cost one leaf kernel choice.
-fn leaf_gemm(leaf: usize, a: &Matrix, b: &Matrix) -> (Matrix, CpuWork) {
+/// Execute one leaf kernel choice into the (all-zeros) output and return
+/// its cost charge.
+fn leaf_gemm_into(out: &mut Matrix, leaf: usize, a: &Matrix, b: &Matrix) -> CpuWork {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let flops = gemm_flops(m, k, n);
     match leaf {
-        1 => (naive_gemm(a, b), CpuWork::new(flops, flops * 4.0)), // strided misses
-        2 => (transposed_gemm(a, b), CpuWork::new(flops, flops * 0.8)),
-        3 => (blocked_gemm(a, b, 64), CpuWork::new(flops, flops * 0.35)),
+        1 => {
+            *out = naive_gemm(a, b);
+            CpuWork::new(flops, flops * 4.0) // strided misses
+        }
+        2 => {
+            transposed_gemm_into(out, a, b);
+            CpuWork::new(flops, flops * 0.8)
+        }
+        3 => {
+            blocked_gemm_into(out, a, b, 64);
+            CpuWork::new(flops, flops * 0.35)
+        }
         // LAPACK: vectorized (≈4-wide) and cache-blocked.
-        _ => (lapack_gemm(a, b), CpuWork::new(flops / 4.0, flops * 0.3)),
+        _ => {
+            lapack_gemm_into(out, a, b);
+            CpuWork::new(flops / 4.0, flops * 0.3)
+        }
     }
 }
 
@@ -172,8 +190,12 @@ fn split_step(
                 let m = w.take_matrix(src);
                 for (q, id) in dst.into_iter().enumerate() {
                     let (r0, c0) = (h * (q / 2), h * (q % 2));
-                    let block = m.block(r0, c0, h, h);
-                    w.set(id, block);
+                    // Row copies into the quadrant's existing buffer: no
+                    // per-split allocation.
+                    let d = w.get_mut(id);
+                    for r in 0..h {
+                        d.row_mut(r).copy_from_slice(&m.row(r0 + r)[c0..c0 + h]);
+                    }
                 }
                 w.restore_matrix(src, m);
                 Charge::WorkPlusSecs(CpuWork::new(0.0, (4 * h * h * 8 * 2) as f64), extra)
@@ -226,8 +248,18 @@ fn build_recursive_8(
                 }
                 let mut out = Matrix::zeros(n, n);
                 for q in 0..4 {
-                    let sum = w.get(products[2 * q]).add(w.get(products[2 * q + 1]));
-                    out.set_block(h * (q / 2), h * (q % 2), &sum);
+                    // Sum the two products straight into the output block —
+                    // the same `x + y` per element as the former
+                    // `add`-then-`set_block` (bit-identical), without the
+                    // intermediate allocation and copy.
+                    let (r0, c0) = (h * (q / 2), h * (q % 2));
+                    let (p1, p2) = (w.get(products[2 * q]), w.get(products[2 * q + 1]));
+                    for r in 0..h {
+                        let dst = &mut out.row_mut(r0 + r)[c0..c0 + h];
+                        for ((d, &x), &y) in dst.iter_mut().zip(p1.row(r)).zip(p2.row(r)) {
+                            *d = x + y;
+                        }
+                    }
                 }
                 w.set(c, out);
                 Charge::WorkPlusSecs(CpuWork::new((n * n) as f64, (n * n * 8 * 3) as f64), extra)

@@ -15,6 +15,11 @@
 //!   committed file (relative tolerance 1e-6); host times are reported but
 //!   never asserted. Exits nonzero on drift, making cost-model changes
 //!   conscious instead of accidental.
+//! * `--check-virtual` — the strict form: every recomputed `virtual_secs`
+//!   must match the committed `virtual_bits` **exactly** (not even one ULP
+//!   of drift). Virtual time is a pure function of the cost model, so this
+//!   is deterministic on every host; CI runs it after host-side perf work
+//!   to prove the simulator's *answers* did not move.
 
 use petal_apps::convolution::{ConvMapping, SeparableConvolution};
 use petal_apps::{all_benchmarks, Benchmark};
@@ -71,9 +76,11 @@ fn render(entries: &[Entry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"key\": \"{}\", \"virtual_secs\": {:.9e}, \"host_ms\": {:.3}}}{}",
+            "    {{\"key\": \"{}\", \"virtual_secs\": {:.9e}, \"virtual_bits\": \"{}\", \
+             \"host_ms\": {:.3}}}{}",
             e.key,
             e.virtual_secs,
+            petal_apps::spec_f64(e.virtual_secs),
             e.host_ms,
             if i + 1 == entries.len() { "" } else { "," }
         );
@@ -82,9 +89,17 @@ fn render(entries: &[Entry]) -> String {
     s
 }
 
-/// Parse the committed baseline's `(key, virtual_secs)` pairs (flat format
-/// written by [`render`]; no JSON dependency available offline).
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+/// One committed-baseline row: `(key, virtual_secs, exact bits if the
+/// file carries them)`.
+struct Committed {
+    key: String,
+    virtual_secs: f64,
+    virtual_bits: Option<f64>,
+}
+
+/// Parse the committed baseline (flat format written by [`render`]; no
+/// JSON dependency available offline).
+fn parse_baseline(text: &str) -> Vec<Committed> {
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(kstart) = line.find("\"key\": \"") else { continue };
@@ -95,7 +110,12 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
         let vrest = &line[vstart + 16..];
         let vend = vrest.find([',', '}']).unwrap_or(vrest.len());
         let Ok(v) = vrest[..vend].trim().parse::<f64>() else { continue };
-        out.push((key, v));
+        let bits = line.find("\"virtual_bits\": \"").and_then(|bstart| {
+            let brest = &line[bstart + 17..];
+            let bend = brest.find('"')?;
+            petal_apps::spec_f64_parse(&brest[..bend]).ok()
+        });
+        out.push(Committed { key, virtual_secs: v, virtual_bits: bits });
     }
     out
 }
@@ -114,32 +134,53 @@ fn main() {
             std::fs::write(baseline_path(), &rendered).expect("write BENCH_baseline.json");
             println!("wrote {} entries to BENCH_baseline.json", entries.len());
         }
-        Some("--check") => {
+        Some(mode @ ("--check" | "--check-virtual")) => {
+            let strict = mode == "--check-virtual";
             let committed =
                 std::fs::read_to_string(baseline_path()).expect("BENCH_baseline.json present");
             let baseline = parse_baseline(&committed);
             assert_eq!(baseline.len(), entries.len(), "entry count drifted; rerun with --write");
             let mut drift = 0;
-            for ((key, want), got) in baseline.iter().zip(&entries) {
+            for (want, got) in baseline.iter().zip(&entries) {
+                let key = &want.key;
                 assert_eq!(key, &got.key, "entry order drifted; rerun with --write");
-                let rel = (got.virtual_secs - want).abs() / want.abs().max(1e-300);
-                let ok = rel <= 1e-6;
+                let ok = if strict {
+                    // Not even one ULP of drift: virtual time is a pure
+                    // function of the cost model, identical on every host.
+                    let bits = want.virtual_bits.unwrap_or_else(|| {
+                        panic!(
+                            "{key}: no virtual_bits in BENCH_baseline.json; \
+                             regenerate it once with --write"
+                        )
+                    });
+                    bits.to_bits() == got.virtual_secs.to_bits()
+                } else {
+                    let rel = (got.virtual_secs - want.virtual_secs).abs()
+                        / want.virtual_secs.abs().max(1e-300);
+                    rel <= 1e-6
+                };
                 if !ok {
                     drift += 1;
                 }
                 println!(
-                    "{} {key}: virtual {want:.6e} -> {:.6e} (host {:.2} ms)",
+                    "{} {key}: virtual {:.6e} -> {:.6e} (host {:.2} ms)",
                     if ok { "ok  " } else { "DRIFT" },
+                    want.virtual_bits.unwrap_or(want.virtual_secs),
                     got.virtual_secs,
                     got.host_ms
                 );
             }
             assert!(
                 drift == 0,
-                "{drift} virtual-time baselines drifted; if intentional, \
-                 rerun `bench_baseline --write` and commit the diff"
+                "{drift} virtual-time baselines drifted{}; if intentional, \
+                 rerun `bench_baseline --write` and commit the diff",
+                if strict { " (bit-exact comparison)" } else { "" }
             );
-            println!("baseline check passed ({} entries)", entries.len());
+            println!(
+                "baseline check passed ({} entries{})",
+                entries.len(),
+                if strict { ", bit-exact" } else { "" }
+            );
         }
         _ => print!("{rendered}"),
     }

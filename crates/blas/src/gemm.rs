@@ -18,12 +18,16 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
     for i in 0..m {
-        for j in 0..n {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cj) in crow.iter_mut().enumerate() {
+            // Column walk of `b` (the deliberately cache-hostile access
+            // pattern this leaf models), accumulated in `p` order.
             let mut acc = 0.0;
-            for p in 0..k {
-                acc += a[(i, p)] * b[(p, j)];
+            for (p, &ap) in arow.iter().enumerate().take(k) {
+                acc += ap * b.row(p)[j];
             }
-            c[(i, j)] = acc;
+            *cj = acc;
         }
     }
     c
@@ -37,22 +41,37 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics when inner dimensions disagree.
 #[must_use]
 pub fn transposed_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    transposed_gemm_into(&mut c, a, b);
+    c
+}
+
+/// [`transposed_gemm`] **overwriting** a caller-provided `m × n` output —
+/// the allocation-free form recursive decompositions use on their
+/// preallocated product matrices. Result bits are identical to
+/// [`transposed_gemm`].
+///
+/// # Panics
+/// Panics when inner or output dimensions disagree.
+pub fn transposed_gemm_into(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()), "output dimensions must agree");
     let bt = b.transposed();
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
+    let (m, k) = (a.rows(), a.cols());
     for i in 0..m {
         let arow = a.row(i);
-        for j in 0..n {
-            let brow = bt.row(j);
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
-            }
-            c[(i, j)] = acc;
+        let crow = c.row_mut(i);
+        if k == 0 {
+            crow.fill(0.0);
+            continue;
+        }
+        // Zip keeps the p-ascending accumulation order (bit-identical to
+        // the indexed loop) while eliding the bounds checks; walking the
+        // transposed rows with `chunks_exact` skips per-row asserts.
+        for (cj, brow) in crow.iter_mut().zip(bt.as_slice().chunks_exact(k)) {
+            *cj = arow.iter().zip(brow).fold(0.0, |acc, (&x, &y)| acc + x * y);
         }
     }
-    c
 }
 
 /// Cache-blocked multiplication with block size `bs`.
@@ -61,25 +80,74 @@ pub fn transposed_gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics when inner dimensions disagree or `bs == 0`.
 #[must_use]
 pub fn blocked_gemm(a: &Matrix, b: &Matrix, bs: usize) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    blocked_gemm_into(&mut c, a, b, bs);
+    c
+}
+
+/// [`blocked_gemm`] **accumulating** into a caller-provided `m × n`
+/// output (`C += A·B`; pass an all-zeros `C` for the plain product) — the
+/// allocation-free form recursive decompositions use on their
+/// preallocated product matrices. On a zeroed output the result bits are
+/// identical to [`blocked_gemm`].
+///
+/// # Panics
+/// Panics when inner or output dimensions disagree, or `bs == 0`.
+pub fn blocked_gemm_into(c: &mut Matrix, a: &Matrix, b: &Matrix, bs: usize) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()), "output dimensions must agree");
     assert!(bs > 0, "block size must be positive");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
+    if n == 0 || k == 0 {
+        return;
+    }
+    // Register width of the j-chunked kernel below (16 f64 = four 256-bit
+    // vectors: enough lanes to vectorize, few enough to stay in registers
+    // across the whole p loop).
+    const W: usize = 16;
     for ii in (0..m).step_by(bs) {
         for pp in (0..k).step_by(bs) {
+            let phi = (pp + bs).min(k);
             for jj in (0..n).step_by(bs) {
+                let jhi = (jj + bs).min(n);
                 for i in ii..(ii + bs).min(m) {
-                    for p in pp..(pp + bs).min(k) {
-                        let aip = a[(i, p)];
-                        for j in jj..(jj + bs).min(n) {
-                            c[(i, j)] += aip * b[(p, j)];
+                    // Every `c[i][j]` accumulates its `p` terms in the same
+                    // ascending order as the indexed triple loop (distinct
+                    // `j` lanes are independent), so the result is
+                    // bit-identical however the j range is chunked. The
+                    // W-wide chunks keep the accumulator in registers for
+                    // the whole p loop instead of storing and reloading
+                    // `c`'s row once per `p`; `chunks_exact` walks `b`'s
+                    // rows `pp..phi` in order without per-row asserts.
+                    let arow = &a.row(i)[pp..phi];
+                    let crow = &mut c.row_mut(i)[jj..jhi];
+                    let bblock = &b.as_slice()[pp * n..phi * n];
+                    let mut j = 0;
+                    while j + W <= crow.len() {
+                        let mut acc = [0.0f64; W];
+                        acc.copy_from_slice(&crow[j..j + W]);
+                        for (&aip, brow) in arow.iter().zip(bblock.chunks_exact(n)) {
+                            let brow = &brow[jj + j..jj + j + W];
+                            for (al, &bj) in acc.iter_mut().zip(brow) {
+                                *al += aip * bj;
+                            }
+                        }
+                        crow[j..j + W].copy_from_slice(&acc);
+                        j += W;
+                    }
+                    if j < crow.len() {
+                        // Remainder lanes: plain row-slice SAXPY.
+                        for (&aip, brow) in arow.iter().zip(bblock.chunks_exact(n)) {
+                            let brow = &brow[jj..jhi];
+                            for (cj, &bj) in crow[j..].iter_mut().zip(&brow[j..]) {
+                                *cj += aip * bj;
+                            }
                         }
                     }
                 }
             }
         }
     }
-    c
 }
 
 /// The "LAPACK" leaf: the best-performing plain kernel we have (transposed
@@ -90,10 +158,21 @@ pub fn blocked_gemm(a: &Matrix, b: &Matrix, bs: usize) -> Matrix {
 /// Panics when inner dimensions disagree.
 #[must_use]
 pub fn lapack_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    lapack_gemm_into(&mut c, a, b);
+    c
+}
+
+/// [`lapack_gemm`] writing into a caller-provided **all-zeros** `m × n`
+/// output; result bits are identical to [`lapack_gemm`].
+///
+/// # Panics
+/// Panics when inner or output dimensions disagree.
+pub fn lapack_gemm_into(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     if a.rows().min(a.cols()).min(b.cols()) < 64 {
-        transposed_gemm(a, b)
+        transposed_gemm_into(c, a, b);
     } else {
-        blocked_gemm(a, b, 64)
+        blocked_gemm_into(c, a, b, 64);
     }
 }
 

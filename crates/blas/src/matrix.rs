@@ -106,10 +106,26 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        let cols = self.cols;
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
     /// Transposed copy.
     #[must_use]
     pub fn transposed(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+        let mut data = Vec::with_capacity(self.data.len());
+        if !self.data.is_empty() {
+            for c in 0..self.cols {
+                data.extend(self.data[c..].iter().step_by(self.cols));
+            }
+        }
+        Matrix { rows: self.cols, cols: self.rows, data }
     }
 
     /// Copy of the `rows × cols` block whose top-left corner is
@@ -120,7 +136,12 @@ impl Matrix {
     #[must_use]
     pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
         assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of bounds");
-        Matrix::from_fn(rows, cols, |r, c| self[(row0 + r, col0 + c)])
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let start = (row0 + r) * self.cols + col0;
+            data.extend_from_slice(&self.data[start..start + cols]);
+        }
+        Matrix { rows, cols, data }
     }
 
     /// Write `src` into the block whose top-left corner is `(row0, col0)`.
@@ -133,9 +154,8 @@ impl Matrix {
             "block out of bounds"
         );
         for r in 0..src.rows {
-            for c in 0..src.cols {
-                self[(row0 + r, col0 + c)] = src[(r, c)];
-            }
+            let start = (row0 + r) * self.cols + col0;
+            self.data[start..start + src.cols].copy_from_slice(src.row(r));
         }
     }
 
@@ -237,6 +257,17 @@ mod tests {
         assert_eq!(m.cols(), 3);
         assert_eq!(m[(1, 2)], 12.0);
         assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn degenerate_transpose_and_rows() {
+        let m = Matrix::zeros(0, 3);
+        let t = m.transposed();
+        assert_eq!((t.rows(), t.cols()), (3, 0));
+        assert!(t.is_empty());
+        let mut m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        m.row_mut(1)[2] = 9.0;
+        assert_eq!(m.row(1), &[3.0, 4.0, 9.0]);
     }
 
     #[test]

@@ -25,6 +25,23 @@ use petal_gpu::queue::{Event, EventStatus};
 use petal_rt::{Charge, Engine, GpuOutcome, GpuTaskClass, RunReport, TaskId};
 use std::sync::{Arc, Mutex};
 
+/// The task ids a lowered step starts or ends with. Native steps are one
+/// task each; keeping them out of `Vec` saves two allocations per step on
+/// the lowering path (recursive plans have tens of thousands of steps).
+enum TaskSet {
+    One(TaskId),
+    Many(Vec<TaskId>),
+}
+
+impl TaskSet {
+    fn as_slice(&self) -> &[TaskId] {
+        match self {
+            TaskSet::One(id) => std::slice::from_ref(id),
+            TaskSet::Many(v) => v,
+        }
+    }
+}
+
 /// Manager-side cost of issuing one non-blocking device call.
 const ISSUE_SECS: f64 = 2.0e-6;
 
@@ -143,24 +160,28 @@ impl Executor {
             Engine::with_device_and_workers(&self.machine, self.workers, device, self.seed);
 
         let (steps, _outputs) = plan.into_steps();
-        let mut terminals: Vec<Vec<TaskId>> = Vec::with_capacity(steps.len());
-        let mut initials: Vec<Vec<TaskId>> = Vec::with_capacity(steps.len());
+        // Native steps (the overwhelming majority in recursive plans) lower
+        // to exactly one task, so the per-step initial/terminal sets are
+        // kept alloc-free for that case.
+        let mut terminals: Vec<TaskSet> = Vec::with_capacity(steps.len());
+        let mut initials: Vec<TaskSet> = Vec::with_capacity(steps.len());
 
         for (idx, step) in steps.into_iter().enumerate() {
             let (init, term) = match step.kind {
                 StepKind::Native(n) => {
-                    let f = n.run;
-                    let id = engine.add_cpu_task(f);
-                    (vec![id], vec![id])
+                    let id = engine.add_cpu_task_boxed(n.run);
+                    (TaskSet::One(id), TaskSet::One(id))
                 }
                 StepKind::Stencil(s) => {
                     let policy = policies[idx].unwrap_or(CopyOutPolicy::Eager);
-                    self.lower_stencil(&mut engine, s, policy, &mut compile_secs)?
+                    let (init, term) =
+                        self.lower_stencil(&mut engine, s, policy, &mut compile_secs)?;
+                    (TaskSet::Many(init), TaskSet::Many(term))
                 }
             };
             for dep in &step.deps {
-                for &t in &terminals[dep.index()] {
-                    for &i in &init {
+                for &t in terminals[dep.index()].as_slice() {
+                    for &i in init.as_slice() {
                         engine.add_dependency(i, t).map_err(Error::Rt)?;
                     }
                 }
@@ -311,9 +332,10 @@ impl Executor {
         // Shared invocation state between the four chain tasks. `Arc<Mutex>`
         // (not `Rc<RefCell>`): the chain must be `Send` so a whole trial can
         // run on an evaluation-farm worker thread. Tasks of one engine never
-        // run concurrently, so the lock is uncontended.
-        let inv = Arc::new(Mutex::new(Inv::default()));
-        inv.lock().expect("inv lock").in_bufs = vec![None; s.inputs.len()];
+        // run concurrently, so the lock is uncontended. The per-input slots
+        // are sized up front so no task ever grows the vector.
+        let inv =
+            Arc::new(Mutex::new(Inv { in_bufs: vec![None; s.inputs.len()], ..Inv::default() }));
 
         let (out_w, out_h) = s.out_dims;
         let inputs = s.inputs.clone();
@@ -328,11 +350,9 @@ impl Executor {
                 let profile = ctx.device.profile().clone();
                 let mut st = inv.lock().expect("inv lock");
                 for (k, &i) in inputs.iter().enumerate() {
-                    let m_len = {
-                        let m = world.get_dims(i);
-                        m.0 * m.1
-                    };
-                    let key = world.residency_key(i, 0, world.get_dims(i).1);
+                    let (cols, rows) = world.get_dims(i);
+                    let m_len = cols * rows;
+                    let key = world.residency_key(i, 0, rows);
                     if let Some(id) = ctx.device.buffers().lookup_resident(key) {
                         st.in_bufs[k] = Some((id, true));
                     } else {
@@ -367,8 +387,9 @@ impl Executor {
                 }
                 let rows = world.get_dims(i).1;
                 let key = world.residency_key(i, 0, rows);
-                let data: Vec<f64> = world.get(i).as_slice().to_vec();
-                ctx.device.enqueue_write(ctx.now, buf, &data)?;
+                // The device copies on write, so the host matrix can be
+                // handed over as a slice — no per-copy-in staging Vec.
+                ctx.device.enqueue_write(ctx.now, buf, world.get(i).as_slice())?;
                 ctx.device.buffers_mut().mark_resident(key, buf);
                 Ok(GpuOutcome::Done { manager_secs: ISSUE_SECS })
             });
@@ -383,12 +404,13 @@ impl Executor {
             let inputs = inputs.clone();
             let scalars = s.user_scalars.clone();
             engine.add_gpu_task(GpuTaskClass::Execute, move |world: &mut World, ctx| {
-                let st_bufs: Vec<BufferId> = {
+                let (st_bufs, out_buf) = {
                     let st = inv.lock().expect("inv lock");
                     let mut v: Vec<BufferId> =
                         st.in_bufs.iter().map(|b| b.expect("copy-in ran").0).collect();
-                    v.push(st.out_buf.expect("prepare ran"));
-                    v
+                    let out = st.out_buf.expect("prepare ran");
+                    v.push(out);
+                    (v, out)
                 };
                 let geom = Geometry {
                     out_w,
@@ -400,12 +422,11 @@ impl Executor {
                 };
                 let launch = KernelLaunch {
                     kernel: handle,
-                    buffers: st_bufs.clone(),
+                    buffers: st_bufs,
                     scalars: codegen::encode_scalars(&geom, &scalars),
                     work: codegen::kernel_work(&rule, &geom, local_memory),
                 };
                 let kev = ctx.device.enqueue_kernel(ctx.now, &launch)?;
-                let out_buf = *st_bufs.last().expect("has output buffer");
                 match policy {
                     CopyOutPolicy::Eager => {
                         let (ev, data) = ctx.device.enqueue_read(ctx.now, out_buf)?;
@@ -444,19 +465,17 @@ impl Executor {
             let inv = Arc::clone(&inv);
             let id =
                 engine.add_gpu_task(GpuTaskClass::CopyOutDone, move |world: &mut World, ctx| {
-                    let ready = {
-                        let st = inv.lock().expect("inv lock");
+                    // One lock session covers both the poll and the data
+                    // handover (the poll used to re-lock to take the data).
+                    let mut st = inv.lock().expect("inv lock");
+                    {
                         let (ev, _) = st.read.as_ref().expect("execute issued the read");
-                        match ev.status_at(ctx.now) {
-                            EventStatus::Pending => Err(ev.complete_at),
-                            EventStatus::Complete => Ok(()),
+                        if let EventStatus::Pending = ev.status_at(ctx.now) {
+                            return Ok(GpuOutcome::Requeue { ready_at: ev.complete_at });
                         }
-                    };
-                    if let Err(ready_at) = ready {
-                        return Ok(GpuOutcome::Requeue { ready_at });
                     }
-                    let (_, data) =
-                        inv.lock().expect("inv lock").read.take().expect("read present");
+                    let (_, data) = st.read.take().expect("read present");
+                    drop(st);
                     let mut out = world.take_matrix(output);
                     out.as_mut_slice()[0..out_w * gpu_rows].copy_from_slice(&data);
                     world.restore_matrix(output, out);

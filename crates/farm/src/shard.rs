@@ -14,7 +14,7 @@
 //! respawned when either changes; within one tuning run it persists across
 //! generation batches.
 
-use crate::wire::{Message, WireError, WIRE_VERSION};
+use crate::wire::{Message, WireEncoder, WireError, WIRE_VERSION};
 use crate::{EvalJob, JobOutcome};
 use petal_gpu::profile::MachineProfile;
 use std::io::{BufRead, BufReader, Write};
@@ -87,26 +87,34 @@ pub fn resolve_shard_bin(explicit: Option<&Path>) -> Result<PathBuf, ShardError>
     })
 }
 
-/// One spawned worker process with buffered pipes.
+/// One spawned worker process with buffered pipes. The encoder and both
+/// line buffers persist across jobs, so steady-state dispatch (one `JOB`
+/// out, one `RESULT` line read back per trial) allocates nothing on the
+/// parent side.
 #[derive(Debug)]
 struct Worker {
     child: Child,
     stdin: ChildStdin,
     stdout: BufReader<ChildStdout>,
+    enc: WireEncoder,
+    line_out: String,
+    line_in: String,
 }
 
 impl Worker {
     fn send(&mut self, msg: &Message) -> Result<(), ShardError> {
-        let mut line = msg.encode();
-        line.push('\n');
-        self.stdin.write_all(line.as_bytes()).map_err(|e| io_err("writing to shard worker", &e))
+        self.enc.encode_into(msg, &mut self.line_out);
+        self.line_out.push('\n');
+        self.stdin
+            .write_all(self.line_out.as_bytes())
+            .map_err(|e| io_err("writing to shard worker", &e))
     }
 
     fn recv(&mut self) -> Result<Message, ShardError> {
-        let mut line = String::new();
+        self.line_in.clear();
         let n = self
             .stdout
-            .read_line(&mut line)
+            .read_line(&mut self.line_in)
             .map_err(|e| io_err("reading from shard worker", &e))?;
         if n == 0 {
             return Err(ShardError {
@@ -115,7 +123,7 @@ impl Worker {
                     .to_owned(),
             });
         }
-        Ok(Message::decode(line.trim_end_matches('\n'))?)
+        Ok(Message::decode(self.line_in.trim_end_matches('\n'))?)
     }
 }
 
@@ -166,7 +174,14 @@ impl ShardPool {
                 })?;
             let stdin = child.stdin.take().expect("piped stdin");
             let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-            let mut worker = Worker { child, stdin, stdout };
+            let mut worker = Worker {
+                child,
+                stdin,
+                stdout,
+                enc: WireEncoder::default(),
+                line_out: String::new(),
+                line_in: String::new(),
+            };
             let at = |e: ShardError| ShardError { message: format!("worker {i}: {}", e.message) };
             worker.send(&init).map_err(at)?;
             worker.stdin.flush().map_err(|e| io_err(&format!("worker {i}: flushing INIT"), &e))?;

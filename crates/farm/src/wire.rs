@@ -61,9 +61,16 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Escape a field payload so the record stays on one line.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Byte length of `s` after escaping (each of `\`, `\n`, `\r` becomes two
+/// bytes). Lets the length prefix be written *before* the payload without
+/// staging the escaped bytes anywhere.
+fn escaped_len(s: &str) -> usize {
+    s.bytes().map(|b| if matches!(b, b'\\' | b'\n' | b'\r') { 2 } else { 1 }).sum()
+}
+
+/// Append the escaped form of `s` to `out` so the record stays on one
+/// line (inverse of [`unescape`]).
+fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
@@ -72,7 +79,15 @@ fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+}
+
+/// Append one ` <len>:<escaped bytes>` field to `out`.
+fn push_field_raw(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push(' ');
+    let _ = write!(out, "{}", escaped_len(s));
+    out.push(':');
+    escape_into(s, out);
 }
 
 /// Inverse of [`escape`].
@@ -115,11 +130,7 @@ impl Record {
     pub fn encode(&self) -> String {
         let mut out = self.tag.clone();
         for f in &self.fields {
-            let esc = escape(f);
-            out.push(' ');
-            out.push_str(&esc.len().to_string());
-            out.push(':');
-            out.push_str(&esc);
+            push_field_raw(&mut out, f);
         }
         out
     }
@@ -219,10 +230,114 @@ impl<'a> FieldReader<'a> {
     }
 }
 
-/// Exact-bit f64 text, shared with the benchmark-spec format so the two
-/// "exact float" encodings stay one codec ([`petal_apps::spec_f64`]).
-fn fmt_f64(v: f64) -> String {
-    petal_apps::spec_f64(v)
+/// Reusable [`Message`] line encoder.
+///
+/// The shard dispatcher encodes one `JOB` per trial and a worker encodes
+/// one `RESULT` per trial; with a `WireEncoder` (plus a caller-held output
+/// line) both run allocation-free in steady state — every buffer keeps its
+/// capacity across messages. This is the only encoding implementation:
+/// [`Message::encode`] is a convenience wrapper around it.
+#[derive(Debug, Default)]
+pub struct WireEncoder {
+    /// Scratch for numeric/float field text (fields are length-prefixed,
+    /// so a value must be rendered before its prefix can be written).
+    scratch: String,
+}
+
+impl WireEncoder {
+    /// Encode `msg` as one line (no trailing newline) into `out`, clearing
+    /// `out` first and reusing its capacity.
+    pub fn encode_into(&mut self, msg: &Message, out: &mut String) {
+        out.clear();
+        match msg {
+            Message::Init { version, bench_spec, machine } => {
+                out.push_str("INIT");
+                self.field_display(out, version);
+                push_field_raw(out, bench_spec);
+                self.encode_machine_into(machine, out);
+            }
+            Message::Ready { version } => {
+                out.push_str("READY");
+                self.field_display(out, version);
+            }
+            Message::Job { index, job } => {
+                out.push_str("JOB");
+                self.field_display(out, index);
+                self.field_display(out, job.size);
+                self.field_display(out, job.engine_seed);
+                self.field_display(out, &job.config);
+            }
+            Message::Result { index, outcome } => {
+                out.push_str("RESULT");
+                self.field_display(out, index);
+                self.field_display(out, u64::from(outcome.ran));
+                self.field_display(out, u64::from(outcome.fitness.is_some()));
+                self.field_f64(out, outcome.fitness.unwrap_or(0.0));
+                self.field_f64(out, outcome.makespan);
+                self.field_display(out, outcome.compiles.len());
+                for &(hash, frontend, jit) in &outcome.compiles {
+                    self.field_display(out, hash);
+                    self.field_f64(out, frontend);
+                    self.field_f64(out, jit);
+                }
+            }
+            Message::Done => out.push_str("DONE"),
+        }
+    }
+
+    fn field_display(&mut self, out: &mut String, v: impl fmt::Display) {
+        use fmt::Write as _;
+        self.scratch.clear();
+        let _ = write!(self.scratch, "{v}");
+        push_field_raw(out, &self.scratch);
+    }
+
+    /// Exact-bit f64 text, shared with the benchmark-spec format so the
+    /// two "exact float" encodings stay one codec
+    /// ([`petal_apps::spec_f64_into`]).
+    fn field_f64(&mut self, out: &mut String, v: f64) {
+        self.scratch.clear();
+        petal_apps::spec_f64_into(v, &mut self.scratch);
+        push_field_raw(out, &self.scratch);
+    }
+
+    /// Flatten a machine profile into wire fields (fixed order, the exact
+    /// inverse of [`decode_machine`]; see the module docs for why the full
+    /// profile travels instead of a codename).
+    fn encode_machine_into(&mut self, m: &MachineProfile, out: &mut String) {
+        push_field_raw(out, &m.codename);
+        push_field_raw(out, &m.os);
+        push_field_raw(out, &m.opencl_runtime);
+        push_field_raw(out, &m.cpu.name);
+        self.field_display(out, m.cpu.cores);
+        self.field_f64(out, m.cpu.flops_per_core);
+        self.field_f64(out, m.cpu.mem_bw);
+        self.field_f64(out, m.cpu.task_overhead);
+        self.field_f64(out, m.cpu.steal_latency);
+        match &m.gpu {
+            None => push_field_raw(out, "0"),
+            Some(g) => {
+                push_field_raw(out, "1");
+                push_field_raw(out, &g.name);
+                self.field_f64(out, g.flops);
+                self.field_f64(out, g.global_bw);
+                self.field_f64(out, g.local_bw);
+                self.field_f64(out, g.pcie_bw);
+                self.field_f64(out, g.launch_overhead);
+                self.field_f64(out, g.transfer_overhead);
+                self.field_f64(out, g.alloc_overhead);
+                self.field_f64(out, g.alloc_bytes_factor);
+                self.field_f64(out, g.read_cache_factor);
+                self.field_f64(out, g.group_overhead);
+                self.field_f64(out, g.barrier_overhead);
+                self.field_f64(out, g.compile_frontend);
+                self.field_f64(out, g.compile_jit);
+                self.field_display(out, g.max_work_group);
+                self.field_display(out, g.warp);
+                self.field_display(out, u64::from(g.cpu_backed));
+            }
+        }
+    }
 }
 
 /// Everything that travels over a shard pipe.
@@ -265,44 +380,14 @@ pub enum Message {
 }
 
 impl Message {
-    /// Encode as one line (no trailing newline).
+    /// Encode as one line (no trailing newline). One-shot convenience
+    /// around [`WireEncoder::encode_into`]; per-job senders should hold a
+    /// `WireEncoder` and an output line instead.
     #[must_use]
     pub fn encode(&self) -> String {
-        match self {
-            Message::Init { version, bench_spec, machine } => {
-                let mut fields = vec![version.to_string(), bench_spec.clone()];
-                encode_machine(machine, &mut fields);
-                Record::new("INIT", fields).encode()
-            }
-            Message::Ready { version } => Record::new("READY", vec![version.to_string()]).encode(),
-            Message::Job { index, job } => Record::new(
-                "JOB",
-                vec![
-                    index.to_string(),
-                    job.size.to_string(),
-                    job.engine_seed.to_string(),
-                    job.config.to_string(),
-                ],
-            )
-            .encode(),
-            Message::Result { index, outcome } => {
-                let mut fields = vec![
-                    index.to_string(),
-                    u64::from(outcome.ran).to_string(),
-                    u64::from(outcome.fitness.is_some()).to_string(),
-                    fmt_f64(outcome.fitness.unwrap_or(0.0)),
-                    fmt_f64(outcome.makespan),
-                    outcome.compiles.len().to_string(),
-                ];
-                for &(hash, frontend, jit) in &outcome.compiles {
-                    fields.push(hash.to_string());
-                    fields.push(fmt_f64(frontend));
-                    fields.push(fmt_f64(jit));
-                }
-                Record::new("RESULT", fields).encode()
-            }
-            Message::Done => Record::new("DONE", Vec::new()).encode(),
-        }
+        let mut out = String::new();
+        WireEncoder::default().encode_into(self, &mut out);
+        out
     }
 
     /// Parse one line back into a message.
@@ -357,43 +442,6 @@ impl Message {
         };
         r.finish()?;
         Ok(msg)
-    }
-}
-
-/// Flatten a machine profile into wire fields (fixed order; see the module
-/// docs for why the full profile travels instead of a codename).
-fn encode_machine(m: &MachineProfile, fields: &mut Vec<String>) {
-    fields.push(m.codename.clone());
-    fields.push(m.os.clone());
-    fields.push(m.opencl_runtime.clone());
-    fields.push(m.cpu.name.clone());
-    fields.push(m.cpu.cores.to_string());
-    fields.push(fmt_f64(m.cpu.flops_per_core));
-    fields.push(fmt_f64(m.cpu.mem_bw));
-    fields.push(fmt_f64(m.cpu.task_overhead));
-    fields.push(fmt_f64(m.cpu.steal_latency));
-    match &m.gpu {
-        None => fields.push("0".to_owned()),
-        Some(g) => {
-            fields.push("1".to_owned());
-            fields.push(g.name.clone());
-            fields.push(fmt_f64(g.flops));
-            fields.push(fmt_f64(g.global_bw));
-            fields.push(fmt_f64(g.local_bw));
-            fields.push(fmt_f64(g.pcie_bw));
-            fields.push(fmt_f64(g.launch_overhead));
-            fields.push(fmt_f64(g.transfer_overhead));
-            fields.push(fmt_f64(g.alloc_overhead));
-            fields.push(fmt_f64(g.alloc_bytes_factor));
-            fields.push(fmt_f64(g.read_cache_factor));
-            fields.push(fmt_f64(g.group_overhead));
-            fields.push(fmt_f64(g.barrier_overhead));
-            fields.push(fmt_f64(g.compile_frontend));
-            fields.push(fmt_f64(g.compile_jit));
-            fields.push(g.max_work_group.to_string());
-            fields.push(g.warp.to_string());
-            fields.push(u64::from(g.cpu_backed).to_string());
-        }
     }
 }
 
@@ -511,6 +559,40 @@ mod tests {
         for msg in messages {
             let line = msg.encode();
             assert!(!line.contains('\n'));
+            assert_eq!(Message::decode(&line).expect("decodes"), msg);
+        }
+    }
+
+    #[test]
+    fn reused_encoder_matches_one_shot_encode() {
+        let mut config = Config::new();
+        config.set_selector("sort", Selector::new(vec![64, 4096], vec![2, 0, 1], 3));
+        let messages = vec![
+            Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: "sort n=4096".to_owned(),
+                machine: Box::new(MachineProfile::desktop()),
+            },
+            Message::Ready { version: WIRE_VERSION },
+            Message::Job { index: 3, job: EvalJob { config, size: 64, engine_seed: 9 } },
+            Message::Result {
+                index: 3,
+                outcome: JobOutcome {
+                    fitness: Some(2.5e-3),
+                    ran: true,
+                    makespan: 2.0e-3,
+                    compiles: vec![(1, 0.25, 0.75)],
+                },
+            },
+            Message::Done,
+        ];
+        // One encoder + one line buffer across every message: the reuse
+        // path must produce byte-identical lines to the one-shot path.
+        let mut enc = WireEncoder::default();
+        let mut line = String::new();
+        for msg in messages {
+            enc.encode_into(&msg, &mut line);
+            assert_eq!(line, msg.encode());
             assert_eq!(Message::decode(&line).expect("decodes"), msg);
         }
     }

@@ -1,0 +1,135 @@
+//! Microbenches over the engine's scheduling hot loop, one per stress
+//! shape the incremental scheduler optimizes:
+//!
+//! * `wide_deque` — one long run of CPU roots seeded into a single deque
+//!   (stresses min-arrival maintenance and eligible pops);
+//! * `gpu_heavy` — long dependent GPU chains with copy-out-style requeues
+//!   (stresses the manager FIFO path);
+//! * `steal_heavy` — many tiny tasks rooted on worker 0 of a wide machine
+//!   (stresses the steal candidate selection and victim scans).
+//!
+//! Each shape runs under both [`SchedPolicy`] variants so a plain
+//! `cargo bench -p petal_rt` prints the incremental-vs-naive comparison;
+//! the `PETAL_SMOKE=1` CI pass shrinks sizes and samples to an
+//! executes-at-all check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use petal_gpu::cost::CpuWork;
+use petal_gpu::profile::MachineProfile;
+use petal_rt::{Charge, Engine, GpuOutcome, GpuTaskClass, SchedPolicy};
+
+/// Mirror of `petal_apps::workload::smoke_mode` (petal_rt cannot depend
+/// on petal_apps without a cycle).
+fn smoke() -> bool {
+    std::env::var_os("PETAL_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn size(full: usize, smoke_size: usize) -> usize {
+    if smoke() {
+        smoke_size
+    } else {
+        full
+    }
+}
+
+fn samples() -> usize {
+    if smoke() {
+        2
+    } else {
+        10
+    }
+}
+
+fn policies() -> [(&'static str, SchedPolicy); 2] {
+    [("incremental", SchedPolicy::Incremental), ("naive", SchedPolicy::NaiveScan)]
+}
+
+fn wide_deque(c: &mut Criterion) {
+    let n = size(768, 48);
+    let machine = MachineProfile::desktop();
+    let mut group = c.benchmark_group("engine_step/wide_deque");
+    group.sample_size(samples());
+    for (label, policy) in policies() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut e: Engine<u64> = Engine::with_workers(&machine, 4, 7);
+                e.set_sched_policy(policy);
+                for i in 0..n {
+                    e.add_cpu_task(move |s: &mut u64, _| {
+                        *s = s.wrapping_add(i as u64);
+                        Charge::Work(CpuWork::new(1.0e5 * (i % 13 + 1) as f64, 0.0))
+                    });
+                }
+                let mut s = 0u64;
+                e.run(&mut s).expect("runs").sched_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+fn gpu_heavy(c: &mut Criterion) {
+    let chains = size(96, 12);
+    let machine = MachineProfile::desktop();
+    let mut group = c.benchmark_group("engine_step/gpu_heavy");
+    group.sample_size(samples());
+    for (label, policy) in policies() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut e: Engine<u64> = Engine::with_workers(&machine, 2, 11);
+                e.set_sched_policy(policy);
+                for chain in 0..chains {
+                    let mut prev = None;
+                    for link in 0..4 {
+                        let requeue = link == 3 && chain % 3 == 0;
+                        let mut polled = false;
+                        let id = e.add_gpu_task(GpuTaskClass::Execute, move |s: &mut u64, ctx| {
+                            if requeue && !polled {
+                                polled = true;
+                                return Ok(GpuOutcome::Requeue { ready_at: ctx.now + 2.0e-6 });
+                            }
+                            *s = s.wrapping_add((chain * 7 + link) as u64);
+                            Ok(GpuOutcome::Done { manager_secs: 1.0e-6 })
+                        });
+                        if let Some(p) = prev {
+                            e.add_dependency(id, p).expect("fresh task");
+                        }
+                        prev = Some(id);
+                    }
+                }
+                let mut s = 0u64;
+                e.run(&mut s).expect("runs").sched_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+fn steal_heavy(c: &mut Criterion) {
+    let n = size(512, 48);
+    let machine = MachineProfile::server();
+    let mut group = c.benchmark_group("engine_step/steal_heavy");
+    group.sample_size(samples());
+    for (label, policy) in policies() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Every root lands on worker 0 of a wide machine with tiny
+                // charges: almost every other worker action is a steal.
+                let mut e: Engine<u64> = Engine::with_workers(&machine, 8, 23);
+                e.set_sched_policy(policy);
+                for i in 0..n {
+                    e.add_cpu_task(move |s: &mut u64, _| {
+                        *s = s.wrapping_mul(31).wrapping_add(i as u64);
+                        Charge::Secs(5.0e-8)
+                    });
+                }
+                let mut s = 0u64;
+                e.run(&mut s).expect("runs").steal_attempts
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wide_deque, gpu_heavy, steal_heavy);
+criterion_main!(benches);

@@ -21,6 +21,20 @@
 //!   random worker's deque** (Fig. 5b).
 //! * A copy-out-completion task whose read is still in flight is re-queued
 //!   at the back of the FIFO and becomes eligible when the read lands.
+//!
+//! # Scheduling-core implementation
+//!
+//! The hot loop is *incremental*: every queue caches its minimum arrival
+//! (`MinCache`, updated on push/pop/steal instead of recomputed), and the
+//! per-entity next-action times live in small deterministic tournament
+//! trees (`MinTree`, keyed by `(time, entity index)` with ties broken
+//! toward the smaller index), so one scheduling decision is O(log workers)
+//! instead of O(workers × queue length). The previous full-scan scheduler
+//! is retained verbatim as [`SchedPolicy::NaiveScan`] — it is the test
+//! oracle for `tests/sched_equiv.rs` and the "before" half of the
+//! `bench_hotpath` throughput table. Both policies produce bit-identical
+//! `(time, action)` sequences, RNG consumption, and [`RunReport`]s; see
+//! ARCHITECTURE.md ("Scheduler internals") for the invariants.
 
 use crate::stats::RunReport;
 use crate::task::{Arena, Charge, CpuCtx, GpuCtx, GpuOutcome, SpawnRef, TaskId, TaskKind};
@@ -31,6 +45,7 @@ use petal_gpu::GpuError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Manager time spent re-checking an in-flight read (§4.2 copy-out
 /// completion poll).
@@ -40,39 +55,260 @@ const POLL_COST: f64 = 1.0e-6;
 /// to a deterministic scan.
 const MAX_STEAL_ATTEMPTS_FACTOR: usize = 4;
 
+/// Which scheduling-core implementation an [`Engine`] uses.
+///
+/// Both produce **bit-identical behavior** — the same `(time, action)`
+/// sequence, the same RNG consumption, the same [`RunReport`] — so the
+/// choice only affects host time. `NaiveScan` exists as the property-test
+/// oracle and as the "before" measurement in the `bench_hotpath` harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Incrementally maintained cached mins + tournament trees: each
+    /// scheduling decision is O(log workers). The default.
+    Incremental,
+    /// The original full-scan scheduler: every decision rescans every
+    /// deque (O(workers × queue length)). Kept as the equivalence oracle.
+    NaiveScan,
+}
+
+/// Process-wide default policy for newly constructed engines
+/// (0 = Incremental, 1 = NaiveScan). A bench/diagnostic knob: because the
+/// two policies are bit-identical in behavior, flipping it can never
+/// change a result, only host time.
+static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Set the [`SchedPolicy`] used by engines constructed after this call
+/// (e.g. everything inside a benchmark's `run_with_config`). Used by the
+/// `bench_hotpath` harness to measure the naive scheduler as its
+/// "before" column without threading a knob through every layer.
+pub fn set_default_sched_policy(policy: SchedPolicy) {
+    DEFAULT_POLICY.store(matches!(policy, SchedPolicy::NaiveScan) as u8, Ordering::SeqCst);
+}
+
+/// The [`SchedPolicy`] newly constructed engines start with.
+#[must_use]
+pub fn default_sched_policy() -> SchedPolicy {
+    if DEFAULT_POLICY.load(Ordering::SeqCst) == 1 {
+        SchedPolicy::NaiveScan
+    } else {
+        SchedPolicy::Incremental
+    }
+}
+
+/// One scheduling decision: which entity acts. Public so the equivalence
+/// tests can compare full action traces between policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedAction {
+    /// Worker `i` pops the top of its own deque.
+    PopOwn(usize),
+    /// Worker `i` (whose deque is empty) attempts to steal.
+    Steal(usize),
+    /// The GPU management thread runs the front of its FIFO.
+    Manager,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct QueueItem {
     task: TaskId,
     arrival: f64,
 }
 
+/// Incrementally maintained minimum over a queue's arrival times.
+///
+/// `count` tracks how many items currently share the minimum, so the
+/// common pattern of a batch of children arriving at the same instant
+/// costs O(1) per push *and* per pop; a full refold (O(queue)) happens
+/// only when the last copy of the minimum leaves the queue.
+#[derive(Debug, Clone, Copy)]
+struct MinCache {
+    min: f64,
+    count: usize,
+}
+
+impl Default for MinCache {
+    fn default() -> Self {
+        MinCache { min: f64::INFINITY, count: 0 }
+    }
+}
+
+impl MinCache {
+    fn push(&mut self, arrival: f64) {
+        if arrival < self.min {
+            self.min = arrival;
+            self.count = 1;
+        } else if arrival == self.min {
+            self.count += 1;
+        }
+    }
+
+    /// Record a removal; `true` means the last copy of the minimum left
+    /// and the caller must [`MinCache::refold`] over the survivors.
+    #[must_use]
+    fn remove(&mut self, arrival: f64) -> bool {
+        if arrival == self.min {
+            self.count -= 1;
+            if self.count == 0 {
+                self.min = f64::INFINITY;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn refold(&mut self, arrivals: impl Iterator<Item = f64>) {
+        self.min = f64::INFINITY;
+        self.count = 0;
+        for a in arrivals {
+            self.push(a);
+        }
+    }
+
+    fn get(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+}
+
+/// A flat tournament tree over a fixed set of entity slots, keyed by
+/// `f64` with ties broken toward the **leftmost** (smallest-index) slot —
+/// exactly the tie order the scan-based scheduler gets from iterating
+/// workers in index order with a strict `<` comparison. Empty slots hold
+/// `+inf`. Updates are O(log n); the minimum and the deterministic
+/// "leftmost slot ≤ bound" query are O(log n) or better.
+#[derive(Debug, Clone)]
+struct MinTree {
+    /// Leaf values, padded with `+inf` to `cap` (a power of two).
+    vals: Vec<f64>,
+    /// 1-based heap of winners: `win[k]` is the index of the minimal leaf
+    /// under internal node `k` (left wins ties); `win[cap + i] == i`.
+    win: Vec<u32>,
+    cap: usize,
+}
+
+impl MinTree {
+    fn new(n: usize) -> Self {
+        let cap = n.max(1).next_power_of_two();
+        let mut win = vec![0u32; 2 * cap];
+        for (i, w) in win[cap..].iter_mut().enumerate() {
+            *w = i as u32;
+        }
+        let mut tree = MinTree { vals: vec![f64::INFINITY; cap], win, cap };
+        for k in (1..cap).rev() {
+            tree.win[k] = tree.winner(tree.win[2 * k], tree.win[2 * k + 1]);
+        }
+        tree
+    }
+
+    fn winner(&self, l: u32, r: u32) -> u32 {
+        if self.vals[l as usize] <= self.vals[r as usize] {
+            l
+        } else {
+            r
+        }
+    }
+
+    fn update(&mut self, i: usize, v: f64) {
+        self.vals[i] = v;
+        let mut k = (self.cap + i) >> 1;
+        while k >= 1 {
+            self.win[k] = self.winner(self.win[2 * k], self.win[2 * k + 1]);
+            k >>= 1;
+        }
+    }
+
+    /// `(min value, leftmost slot holding it)`, or `None` if all empty.
+    fn min(&self) -> Option<(f64, usize)> {
+        let w = self.win[1] as usize;
+        let v = self.vals[w];
+        v.is_finite().then_some((v, w))
+    }
+
+    /// Leftmost slot with value `<= bound`, if any.
+    fn leftmost_at_most(&self, bound: f64) -> Option<usize> {
+        if self.vals[self.win[1] as usize] > bound {
+            return None;
+        }
+        let mut k = 1;
+        while k < self.cap {
+            k = if self.vals[self.win[2 * k] as usize] <= bound { 2 * k } else { 2 * k + 1 };
+        }
+        Some(k - self.cap)
+    }
+}
+
 #[derive(Debug, Default)]
 struct WorkerState {
-    /// THE-style deque: index 0 is the bottom (steal end), the last index
-    /// is the top (owner end).
-    deque: Vec<QueueItem>,
+    /// THE-style deque: the front is the bottom (steal end), the back is
+    /// the top (owner end).
+    deque: VecDeque<QueueItem>,
     free_at: f64,
     busy: f64,
+    min_cache: MinCache,
 }
 
 impl WorkerState {
-    fn min_arrival(&self) -> Option<f64> {
+    fn push_top(&mut self, item: QueueItem) {
+        self.min_cache.push(item.arrival);
+        self.deque.push_back(item);
+    }
+
+    fn push_bottom(&mut self, item: QueueItem) {
+        self.min_cache.push(item.arrival);
+        self.deque.push_front(item);
+    }
+
+    fn note_removed(&mut self, arrival: f64) {
+        if self.min_cache.remove(arrival) {
+            self.min_cache.refold(self.deque.iter().map(|i| i.arrival));
+        }
+    }
+
+    /// Full-fold min arrival (naive-scan oracle; ignores the cache).
+    fn min_arrival_scan(&self) -> Option<f64> {
         self.deque
             .iter()
             .map(|i| i.arrival)
             .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.min(a))))
     }
 
-    /// Pop the topmost item that has arrived by `now`.
-    fn pop_top_eligible(&mut self, now: f64) -> Option<TaskId> {
-        let idx = self.deque.iter().rposition(|i| i.arrival <= now)?;
-        Some(self.deque.remove(idx).task)
+    /// Pop the topmost item that has arrived by `now`. The common case —
+    /// the top item itself is eligible — is O(1); otherwise the fallback
+    /// scan is counted in `rescans`.
+    fn pop_top_eligible(&mut self, now: f64, rescans: &mut usize) -> Option<TaskId> {
+        match self.deque.back() {
+            Some(top) if top.arrival <= now => {
+                let item = self.deque.pop_back().expect("checked non-empty");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            Some(_) => {
+                *rescans += 1;
+                let idx = self.deque.iter().rposition(|i| i.arrival <= now)?;
+                let item = self.deque.remove(idx).expect("index in range");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            None => None,
+        }
     }
 
-    /// Steal the bottommost item that has arrived by `now`.
-    fn steal_bottom_eligible(&mut self, now: f64) -> Option<TaskId> {
-        let idx = self.deque.iter().position(|i| i.arrival <= now)?;
-        Some(self.deque.remove(idx).task)
+    /// Steal the bottommost item that has arrived by `now` (same fast
+    /// path / counted-fallback structure as [`Self::pop_top_eligible`]).
+    fn steal_bottom_eligible(&mut self, now: f64, rescans: &mut usize) -> Option<TaskId> {
+        match self.deque.front() {
+            Some(bottom) if bottom.arrival <= now => {
+                let item = self.deque.pop_front().expect("checked non-empty");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            Some(_) => {
+                *rescans += 1;
+                let idx = self.deque.iter().position(|i| i.arrival <= now)?;
+                let item = self.deque.remove(idx).expect("index in range");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            None => None,
+        }
     }
 }
 
@@ -80,29 +316,50 @@ impl WorkerState {
 struct ManagerState {
     fifo: VecDeque<QueueItem>,
     free_at: f64,
+    min_cache: MinCache,
 }
 
 impl ManagerState {
+    fn push_back(&mut self, item: QueueItem) {
+        self.min_cache.push(item.arrival);
+        self.fifo.push_back(item);
+    }
+
     fn min_arrival(&self) -> Option<f64> {
+        self.min_cache.get()
+    }
+
+    fn min_arrival_scan(&self) -> Option<f64> {
         self.fifo
             .iter()
             .map(|i| i.arrival)
             .fold(None, |acc, a| Some(acc.map_or(a, |m: f64| m.min(a))))
     }
 
-    /// Pop the frontmost item that has arrived by `now`.
-    fn pop_front_eligible(&mut self, now: f64) -> Option<TaskId> {
-        let idx = self.fifo.iter().position(|i| i.arrival <= now)?;
-        self.fifo.remove(idx).map(|i| i.task)
+    fn note_removed(&mut self, arrival: f64) {
+        if self.min_cache.remove(arrival) {
+            self.min_cache.refold(self.fifo.iter().map(|i| i.arrival));
+        }
     }
-}
 
-/// Which entity performs the next action.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Action {
-    PopOwn(usize),
-    Steal(usize),
-    Manager,
+    /// Pop the frontmost item that has arrived by `now`.
+    fn pop_front_eligible(&mut self, now: f64, rescans: &mut usize) -> Option<TaskId> {
+        match self.fifo.front() {
+            Some(front) if front.arrival <= now => {
+                let item = self.fifo.pop_front().expect("checked non-empty");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            Some(_) => {
+                *rescans += 1;
+                let idx = self.fifo.iter().position(|i| i.arrival <= now)?;
+                let item = self.fifo.remove(idx).expect("index in range");
+                self.note_removed(item.arrival);
+                Some(item.task)
+            }
+            None => None,
+        }
+    }
 }
 
 /// The runtime engine for one machine.
@@ -119,6 +376,18 @@ pub struct Engine<S> {
     report: RunReport,
     roots: Vec<TaskId>,
     max_completion: f64,
+    policy: SchedPolicy,
+    /// Busy workers: `max(free_at, min arrival)` keyed by worker index.
+    pop_tree: MinTree,
+    /// Idle (empty-deque) workers: `free_at` keyed by worker index.
+    steal_tree: MinTree,
+    /// Per-worker min arrival; the root is the global min the steal rule
+    /// needs, shared with `act_steal` so the two can never disagree.
+    arrival_tree: MinTree,
+    /// Reused by every completion for the woken-dependents hand-off, so
+    /// the hot loop allocates nothing per task.
+    woken_scratch: Vec<(TaskId, f64)>,
+    trace: Option<Vec<(f64, SchedAction)>>,
 }
 
 impl<S> Engine<S> {
@@ -148,7 +417,7 @@ impl<S> Engine<S> {
         seed: u64,
     ) -> Self {
         let workers = workers.max(1);
-        Engine {
+        let mut engine = Engine {
             arena: Arena::new(),
             workers: (0..workers).map(|_| WorkerState::default()).collect(),
             manager: ManagerState::default(),
@@ -158,13 +427,49 @@ impl<S> Engine<S> {
             report: RunReport::default(),
             roots: Vec::new(),
             max_completion: 0.0,
+            policy: default_sched_policy(),
+            pop_tree: MinTree::new(workers),
+            steal_tree: MinTree::new(workers),
+            arrival_tree: MinTree::new(workers),
+            woken_scratch: Vec::new(),
+            trace: None,
+        };
+        for i in 0..workers {
+            engine.refresh_worker(i);
         }
+        engine
     }
 
     /// Number of CPU workers.
     #[must_use]
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Override the scheduling-core implementation for this engine
+    /// (behavior is identical either way; only host time differs).
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The scheduling-core implementation this engine uses.
+    #[must_use]
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Record every scheduling decision as `(virtual time, action)`;
+    /// retrieve with [`Engine::take_trace`]. Costs one `Vec` push per
+    /// event, so leave it off outside tests.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The decisions recorded since [`Engine::enable_trace`] (recording
+    /// stops and the buffer is handed over).
+    pub fn take_trace(&mut self) -> Vec<(f64, SchedAction)> {
+        self.trace.take().unwrap_or_default()
     }
 
     /// The simulated OpenCL device, if the machine has one.
@@ -188,7 +493,14 @@ impl<S> Engine<S> {
         &mut self,
         f: impl FnOnce(&mut S, &mut CpuCtx<S>) -> Charge + Send + 'static,
     ) -> TaskId {
-        let id = self.arena.add(TaskKind::Cpu(Box::new(f)));
+        self.add_cpu_task_boxed(Box::new(f))
+    }
+
+    /// [`Engine::add_cpu_task`] for an already-boxed body: callers that
+    /// store task closures boxed (the executor's plan lowering) hand the
+    /// box over instead of paying a second allocation per task.
+    pub fn add_cpu_task_boxed(&mut self, f: crate::task::CpuFn<S>) -> TaskId {
+        let id = self.arena.add(TaskKind::Cpu(f));
         self.roots.push(id);
         id
     }
@@ -232,12 +544,15 @@ impl<S> Engine<S> {
             return Err(RtError::Gpu(GpuError::NoGpu));
         }
 
-        loop {
-            match self.next_action() {
-                Some((_, Action::PopOwn(i))) => self.act_pop_own(i, state)?,
-                Some((_, Action::Steal(i))) => self.act_steal(i, state)?,
-                Some((_, Action::Manager)) => self.act_manager(state)?,
-                None => break,
+        while let Some((t, action)) = self.next_action() {
+            self.report.sched_steps += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push((t, action));
+            }
+            match action {
+                SchedAction::PopOwn(i) => self.act_pop_own(i, t, state)?,
+                SchedAction::Steal(i) => self.act_steal(i, t, state)?,
+                SchedAction::Manager => self.act_manager(t, state)?,
             }
         }
 
@@ -262,17 +577,83 @@ impl<S> Engine<S> {
 
     fn enqueue_initial(&mut self, id: TaskId) {
         if self.arena.tasks[id.0].is_gpu {
-            self.manager.fifo.push_back(QueueItem { task: id, arrival: 0.0 });
+            self.manager.push_back(QueueItem { task: id, arrival: 0.0 });
         } else {
-            self.workers[0].deque.push(QueueItem { task: id, arrival: 0.0 });
+            self.workers[0].push_top(QueueItem { task: id, arrival: 0.0 });
+            self.refresh_worker(0);
+        }
+    }
+
+    /// Re-derive worker `i`'s tournament-tree keys from its queue state.
+    /// A worker is *either* a pop candidate (non-empty deque) *or* a steal
+    /// candidate (empty deque) — never both — mirroring the `if/else if`
+    /// of the scan scheduler.
+    fn refresh_worker(&mut self, i: usize) {
+        let w = &self.workers[i];
+        match w.min_cache.get() {
+            Some(min) => {
+                self.arrival_tree.update(i, min);
+                self.pop_tree.update(i, w.free_at.max(min));
+                self.steal_tree.update(i, f64::INFINITY);
+            }
+            None => {
+                self.arrival_tree.update(i, f64::INFINITY);
+                self.pop_tree.update(i, f64::INFINITY);
+                self.steal_tree.update(i, w.free_at);
+            }
         }
     }
 
     /// The earliest possible action across all entities; `None` when no
-    /// queue holds work.
-    fn next_action(&self) -> Option<(f64, Action)> {
-        let mut best: Option<(f64, Action)> = None;
-        let consider = |t: f64, a: Action, best: &mut Option<(f64, Action)>| {
+    /// queue holds work. Ties break toward the smaller worker index, with
+    /// the manager losing all ties — the exact order the scan scheduler
+    /// derives from its iteration order.
+    fn next_action(&self) -> Option<(f64, SchedAction)> {
+        match self.policy {
+            SchedPolicy::Incremental => self.next_action_incremental(),
+            SchedPolicy::NaiveScan => self.next_action_naive(),
+        }
+    }
+
+    fn next_action_incremental(&self) -> Option<(f64, SchedAction)> {
+        // Best CPU-side candidate by (time, worker index).
+        let mut cpu: Option<(f64, usize, bool)> = self.pop_tree.min().map(|(t, i)| (t, i, false));
+        if let Some((global_min, _)) = self.arrival_tree.min() {
+            // An idle worker acts at max(free_at, global min arrival):
+            // workers already free when the work arrives all act at the
+            // global min (leftmost such index wins); otherwise the
+            // earliest-free idle worker wins.
+            let steal: Option<(f64, usize)> = match self.steal_tree.leftmost_at_most(global_min) {
+                Some(i) => Some((global_min, i)),
+                None => self.steal_tree.min(),
+            };
+            if let Some((ts, si)) = steal {
+                let better = match cpu {
+                    None => true,
+                    Some((tp, pi, _)) => ts < tp || (ts == tp && si < pi),
+                };
+                if better {
+                    cpu = Some((ts, si, true));
+                }
+            }
+        }
+        let mut best = cpu.map(|(t, i, steal)| {
+            (t, if steal { SchedAction::Steal(i) } else { SchedAction::PopOwn(i) })
+        });
+        if let Some(arr) = self.manager.min_arrival() {
+            let tm = self.manager.free_at.max(arr);
+            if best.map_or(true, |(bt, _)| tm < bt) {
+                best = Some((tm, SchedAction::Manager));
+            }
+        }
+        best
+    }
+
+    /// The original scan scheduler, kept as the equivalence oracle: full
+    /// O(queue) folds per worker plus a global fold, every event.
+    fn next_action_naive(&self) -> Option<(f64, SchedAction)> {
+        let mut best: Option<(f64, SchedAction)> = None;
+        let consider = |t: f64, a: SchedAction, best: &mut Option<(f64, SchedAction)>| {
             if best.map_or(true, |(bt, _)| t < bt) {
                 *best = Some((t, a));
             }
@@ -280,35 +661,38 @@ impl<S> Engine<S> {
         let global_min_cpu = self
             .workers
             .iter()
-            .filter_map(WorkerState::min_arrival)
+            .filter_map(WorkerState::min_arrival_scan)
             .fold(None::<f64>, |acc, a| Some(acc.map_or(a, |m| m.min(a))));
         for (i, w) in self.workers.iter().enumerate() {
-            if let Some(arr) = w.min_arrival() {
-                consider(w.free_at.max(arr), Action::PopOwn(i), &mut best);
+            if let Some(arr) = w.min_arrival_scan() {
+                consider(w.free_at.max(arr), SchedAction::PopOwn(i), &mut best);
             } else if let Some(arr) = global_min_cpu {
                 // Only other deques hold work: this worker can steal.
-                consider(w.free_at.max(arr), Action::Steal(i), &mut best);
+                consider(w.free_at.max(arr), SchedAction::Steal(i), &mut best);
             }
         }
-        if let Some(arr) = self.manager.min_arrival() {
-            consider(self.manager.free_at.max(arr), Action::Manager, &mut best);
+        if let Some(arr) = self.manager.min_arrival_scan() {
+            consider(self.manager.free_at.max(arr), SchedAction::Manager, &mut best);
         }
         best
     }
 
-    fn act_pop_own(&mut self, i: usize, state: &mut S) -> Result<(), RtError> {
-        let arr = self.workers[i].min_arrival().expect("PopOwn requires work");
-        let t0 = self.workers[i].free_at.max(arr);
+    /// `t0` is the action time computed by `next_action`
+    /// (`free_at.max(min arrival)`), threaded through so it is derived
+    /// exactly once.
+    fn act_pop_own(&mut self, i: usize, t0: f64, state: &mut S) -> Result<(), RtError> {
         let task = self.workers[i]
-            .pop_top_eligible(t0)
+            .pop_top_eligible(t0, &mut self.report.eligibility_rescans)
             .expect("eligible item exists at t0 by construction");
         self.run_cpu_task(i, task, t0, state)
     }
 
-    fn act_steal(&mut self, i: usize, state: &mut S) -> Result<(), RtError> {
-        let global_min =
-            self.workers.iter().filter_map(WorkerState::min_arrival).fold(f64::INFINITY, f64::min);
-        let mut now = self.workers[i].free_at.max(global_min);
+    /// `t` is the action time from `next_action`: `free_at.max(global min
+    /// arrival)`. Threading it through (instead of refolding every deque
+    /// here, as the code once did) means the steal path and the scheduler
+    /// can never disagree about the global minimum.
+    fn act_steal(&mut self, i: usize, t: f64, state: &mut S) -> Result<(), RtError> {
+        let mut now = t;
         let n = self.workers.len();
         let max_attempts = MAX_STEAL_ATTEMPTS_FACTOR * n.max(2);
         for _ in 0..max_attempts {
@@ -318,7 +702,10 @@ impl<S> Engine<S> {
             if victim == i {
                 continue;
             }
-            if let Some(task) = self.workers[victim].steal_bottom_eligible(now) {
+            if let Some(task) = self.workers[victim]
+                .steal_bottom_eligible(now, &mut self.report.eligibility_rescans)
+            {
+                self.refresh_worker(victim);
                 self.report.steals += 1;
                 return self.run_cpu_task(i, task, now, state);
             }
@@ -329,7 +716,10 @@ impl<S> Engine<S> {
             if victim == i {
                 continue;
             }
-            if let Some(task) = self.workers[victim].steal_bottom_eligible(now) {
+            if let Some(task) = self.workers[victim]
+                .steal_bottom_eligible(now, &mut self.report.eligibility_rescans)
+            {
+                self.refresh_worker(victim);
                 self.report.steals += 1;
                 return self.run_cpu_task(i, task, now, state);
             }
@@ -337,6 +727,7 @@ impl<S> Engine<S> {
         // The work was taken by someone else in the meantime — record the
         // wasted time and return to the scheduling loop.
         self.workers[i].free_at = now;
+        self.refresh_worker(i);
         Ok(())
     }
 
@@ -395,11 +786,16 @@ impl<S> Engine<S> {
             }
         }
         if cont_id.is_none() {
-            let woken = self.arena.complete(task, t1);
-            for (id, ready_at) in woken {
+            let mut woken = std::mem::take(&mut self.woken_scratch);
+            self.arena.complete(task, t1, &mut woken);
+            for &(id, ready_at) in &woken {
                 self.enqueue_from_cpu(worker, id, ready_at);
             }
+            self.woken_scratch = woken;
         }
+        // One tree refresh covers the pop, the free_at advance, and every
+        // child pushed onto this worker's own deque above.
+        self.refresh_worker(worker);
         Ok(())
     }
 
@@ -407,18 +803,16 @@ impl<S> Engine<S> {
     /// top of that worker's own deque, or the GPU FIFO (Fig. 5a/5c).
     fn enqueue_from_cpu(&mut self, worker: usize, id: TaskId, t: f64) {
         if self.arena.tasks[id.0].is_gpu {
-            self.manager.fifo.push_back(QueueItem { task: id, arrival: t });
+            self.manager.push_back(QueueItem { task: id, arrival: t });
         } else {
-            self.workers[worker].deque.push(QueueItem { task: id, arrival: t });
+            self.workers[worker].push_top(QueueItem { task: id, arrival: t });
         }
     }
 
-    fn act_manager(&mut self, state: &mut S) -> Result<(), RtError> {
-        let arr = self.manager.min_arrival().expect("Manager requires work");
-        let t0 = self.manager.free_at.max(arr);
+    fn act_manager(&mut self, t0: f64, state: &mut S) -> Result<(), RtError> {
         let task = self
             .manager
-            .pop_front_eligible(t0)
+            .pop_front_eligible(t0, &mut self.report.eligibility_rescans)
             .expect("eligible item exists at t0 by construction");
         let mut kind = self.arena.tasks[task.0].kind.take().expect("task body present");
         let device = self.device.as_mut().ok_or(RtError::Gpu(GpuError::NoGpu))?;
@@ -437,15 +831,17 @@ impl<S> Engine<S> {
                 self.manager.free_at = t1;
                 self.report.gpu_tasks += 1;
                 self.max_completion = self.max_completion.max(t1);
-                let woken = self.arena.complete(task, t1);
-                for (id, ready_at) in woken {
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                self.arena.complete(task, t1, &mut woken);
+                for &(id, ready_at) in &woken {
                     self.enqueue_from_gpu(id, ready_at);
                 }
+                self.woken_scratch = woken;
             }
             GpuOutcome::Requeue { ready_at } => {
                 self.arena.tasks[task.0].kind = Some(kind);
                 let arrival = ready_at.max(t0 + POLL_COST);
-                self.manager.fifo.push_back(QueueItem { task, arrival });
+                self.manager.push_back(QueueItem { task, arrival });
                 self.manager.free_at = t0 + POLL_COST;
                 self.report.copy_out_requeues += 1;
             }
@@ -458,10 +854,11 @@ impl<S> Engine<S> {
     /// GPU tasks.
     fn enqueue_from_gpu(&mut self, id: TaskId, t: f64) {
         if self.arena.tasks[id.0].is_gpu {
-            self.manager.fifo.push_back(QueueItem { task: id, arrival: t });
+            self.manager.push_back(QueueItem { task: id, arrival: t });
         } else {
             let w = self.rng.gen_range(0..self.workers.len());
-            self.workers[w].deque.insert(0, QueueItem { task: id, arrival: t });
+            self.workers[w].push_bottom(QueueItem { task: id, arrival: t });
+            self.refresh_worker(w);
         }
     }
 }
@@ -483,6 +880,7 @@ impl<S> std::fmt::Debug for Engine<S> {
             .field("workers", &self.workers.len())
             .field("tasks", &self.arena.tasks.len())
             .field("has_device", &self.device.is_some())
+            .field("policy", &self.policy)
             .finish()
     }
 }
@@ -498,6 +896,37 @@ mod tests {
     }
 
     #[test]
+    fn min_cache_tracks_duplicates() {
+        let mut c = MinCache::default();
+        c.push(2.0);
+        c.push(1.0);
+        c.push(1.0);
+        assert_eq!(c.get(), Some(1.0));
+        assert!(!c.remove(1.0), "a duplicate min remains");
+        assert_eq!(c.get(), Some(1.0));
+        assert!(!c.remove(2.0), "removing a non-min never refolds");
+        assert!(c.remove(1.0), "last copy of the min forces a refold");
+        c.refold(std::iter::empty());
+        assert_eq!(c.get(), None);
+    }
+
+    #[test]
+    fn min_tree_prefers_leftmost_on_ties() {
+        let mut t = MinTree::new(5);
+        assert_eq!(t.min(), None);
+        t.update(3, 2.0);
+        t.update(1, 2.0);
+        t.update(4, 5.0);
+        assert_eq!(t.min(), Some((2.0, 1)), "smallest index wins the tie");
+        assert_eq!(t.leftmost_at_most(1.0), None);
+        assert_eq!(t.leftmost_at_most(2.0), Some(1));
+        assert_eq!(t.leftmost_at_most(10.0), Some(1));
+        t.update(1, f64::INFINITY);
+        assert_eq!(t.min(), Some((2.0, 3)));
+        assert_eq!(t.leftmost_at_most(5.0), Some(3));
+    }
+
+    #[test]
     fn single_task_runs_and_charges_time() {
         let mut e: Engine<u32> = Engine::new(&machine(), 1);
         e.add_cpu_task(|s, _| {
@@ -510,6 +939,7 @@ mod tests {
         // 2.5e9 flops on a 2.5e9 flop/s core ≈ 1 second.
         assert!((r.makespan - 1.0).abs() < 1e-3, "makespan {}", r.makespan);
         assert_eq!(r.cpu_tasks, 1);
+        assert!(r.sched_steps >= 1, "every action is one sched step");
     }
 
     #[test]
@@ -657,6 +1087,32 @@ mod tests {
         let c = run(124);
         // Different seed: same work, almost surely different steal pattern.
         assert_eq!(c.cpu_tasks, a.cpu_tasks);
+    }
+
+    #[test]
+    fn naive_scan_policy_is_bit_identical() {
+        // A quick inline smoke of the cross-check that
+        // tests/sched_equiv.rs does exhaustively on random DAGs.
+        let run = |policy: SchedPolicy| {
+            let mut e: Engine<u64> = Engine::new(&machine(), 99);
+            e.set_sched_policy(policy);
+            e.enable_trace();
+            for i in 0..48u64 {
+                e.add_cpu_task(move |s, _| {
+                    *s = s.wrapping_mul(31).wrapping_add(i);
+                    Charge::Work(CpuWork::new(1e5 * (i % 7 + 1) as f64, 0.0))
+                });
+            }
+            let mut s = 0u64;
+            let r = e.run(&mut s).unwrap();
+            (s, r, e.take_trace())
+        };
+        let (s_inc, r_inc, t_inc) = run(SchedPolicy::Incremental);
+        let (s_scan, r_scan, t_scan) = run(SchedPolicy::NaiveScan);
+        assert_eq!(s_inc, s_scan);
+        assert_eq!(r_inc, r_scan);
+        assert_eq!(t_inc, t_scan);
+        assert!(!t_inc.is_empty());
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod engine;
 pub mod stats;
 pub mod task;
 
-pub use engine::Engine;
+pub use engine::{
+    default_sched_policy, set_default_sched_policy, Engine, SchedAction, SchedPolicy,
+};
 pub use stats::RunReport;
 pub use task::{Charge, CpuCtx, GpuCtx, GpuOutcome, GpuTaskClass, TaskId, TaskState};
 

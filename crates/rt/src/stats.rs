@@ -22,6 +22,16 @@ pub struct RunReport {
     pub copy_in_dedup_hits: usize,
     /// Copy-out polls that found the read still in flight and re-queued.
     pub copy_out_requeues: usize,
+    /// Scheduling decisions taken (one per engine hot-loop iteration):
+    /// the "events" of the discrete-event simulation, and the numerator
+    /// of the `bench_hotpath` events/sec throughput metric.
+    pub sched_steps: usize,
+    /// Eligible pops/steals that missed the O(1) fast path (the item at
+    /// the preferred queue end had not arrived yet) and had to scan the
+    /// queue. A pure function of queue contents, so identical under every
+    /// [`crate::SchedPolicy`]; future profiling PRs can attribute queue
+    /// time without re-instrumenting.
+    pub eligibility_rescans: usize,
     /// Device activity during this run (zeroed if the machine has no GPU).
     pub device: DeviceStats,
     /// Device busy virtual seconds.

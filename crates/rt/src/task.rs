@@ -302,25 +302,26 @@ impl<S> Arena<S> {
         }
     }
 
-    /// Mark `id` complete at virtual time `at`; return the dependents that
-    /// became runnable, paired with the earliest virtual time each may
-    /// start (the max of all its dependencies' completion times).
-    pub(crate) fn complete(&mut self, id: TaskId, at: f64) -> Vec<(TaskId, f64)> {
+    /// Mark `id` complete at virtual time `at`; push the dependents that
+    /// became runnable into `woken` (cleared first), paired with the
+    /// earliest virtual time each may start (the max of all its
+    /// dependencies' completion times). Takes a caller-owned buffer so the
+    /// engine's completion hot path reuses one allocation run-long.
+    pub(crate) fn complete(&mut self, id: TaskId, at: f64, woken: &mut Vec<(TaskId, f64)>) {
+        woken.clear();
         self.tasks[id.0].state = TaskState::Complete;
         self.tasks[id.0].completed_at = at;
         let dependents = std::mem::take(&mut self.tasks[id.0].dependents);
-        let mut woken = Vec::new();
-        for d in dependents {
+        for d in &dependents {
             let dt = &mut self.tasks[d.0];
             debug_assert!(dt.dep_count > 0);
             dt.dep_count -= 1;
             dt.ready_at = dt.ready_at.max(at);
             if dt.dep_count == 0 && dt.state == TaskState::NonRunnable {
                 dt.state = TaskState::Runnable;
-                woken.push((d, dt.ready_at));
+                woken.push((*d, dt.ready_at));
             }
         }
-        woken
     }
 
     /// Mark `id` continued by `cont`, transferring its dependents.
@@ -358,7 +359,8 @@ mod tests {
         assert!(a.finalize(t1));
         assert!(!a.finalize(t2));
         assert_eq!(a.get(t2).unwrap().state, TaskState::NonRunnable);
-        let woken = a.complete(t1, 1.0);
+        let mut woken = Vec::new();
+        a.complete(t1, 1.0, &mut woken);
         assert_eq!(woken, vec![(t2, 1.0)]);
         assert_eq!(a.get(t2).unwrap().state, TaskState::Runnable);
     }
@@ -368,7 +370,7 @@ mod tests {
         let mut a: Arena<S> = Arena::new();
         let t1 = a.add(noop());
         a.finalize(t1);
-        a.complete(t1, 1.0);
+        a.complete(t1, 1.0, &mut Vec::new());
         let t2 = a.add(noop());
         a.add_dependency(t2, t1).unwrap();
         assert_eq!(a.get(t2).unwrap().dep_count, 0);
@@ -405,7 +407,8 @@ mod tests {
         assert_eq!(a.resolve(t1), c);
         assert_eq!(a.get(late).unwrap().dep_count, 1);
         a.finalize(c);
-        let woken = a.complete(c, 2.0);
+        let mut woken = Vec::new();
+        a.complete(c, 2.0, &mut woken);
         assert!(woken.iter().any(|(w, _)| *w == waiter));
         // `late` was still `New`, so completion satisfied its dependency
         // without waking it; finalize now sees zero dependencies.
@@ -434,7 +437,7 @@ mod tests {
         a.finalize(t1);
         a.finalize(t2);
         assert_eq!(a.unfinished(), 2);
-        a.complete(t1, 0.5);
+        a.complete(t1, 0.5, &mut Vec::new());
         assert_eq!(a.unfinished(), 1);
     }
 }

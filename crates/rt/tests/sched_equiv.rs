@@ -1,0 +1,137 @@
+//! Scheduler-equivalence property tests: the incremental (cached-min /
+//! tournament-tree) scheduler must be **bit-identical** to the retained
+//! naive scan scheduler — same full `(time, action)` trace, same
+//! `RunReport` (steal counters included), same host-state mutations, same
+//! RNG consumption — on arbitrary task DAGs mixing CPU and GPU tasks,
+//! dynamic spawns, and copy-out-style requeues.
+
+use petal_gpu::cost::CpuWork;
+use petal_gpu::profile::MachineProfile;
+use petal_rt::{Charge, Engine, GpuOutcome, GpuTaskClass, RunReport, SchedAction, SchedPolicy};
+use proptest::prelude::*;
+
+/// One task of the random DAG.
+#[derive(Debug, Clone)]
+enum TaskSpec {
+    /// CPU task with some model work, spawning `children` small subtasks.
+    Cpu { flops: u32, children: usize },
+    /// GPU task; `requeue` models a copy-out poll finding its read still
+    /// in flight once before completing.
+    Gpu { manager_nanos: u32, requeue: bool },
+}
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    tasks: Vec<TaskSpec>,
+    /// Per task: indices of strictly earlier tasks it depends on.
+    deps: Vec<Vec<usize>>,
+    machine_idx: usize,
+    workers: usize,
+    seed: u64,
+}
+
+fn task_strategy() -> impl Strategy<Value = TaskSpec> {
+    // 3:1 CPU:GPU mix via an explicit kind selector (the proptest shim has
+    // no `prop_oneof!`).
+    (0u8..4, 1u32..2_000_000, 0usize..3, 1u32..5_000, any::<bool>()).prop_map(
+        |(kind, flops, children, manager_nanos, requeue)| {
+            if kind < 3 {
+                TaskSpec::Cpu { flops, children }
+            } else {
+                TaskSpec::Gpu { manager_nanos, requeue }
+            }
+        },
+    )
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (2usize..32).prop_flat_map(|n| {
+        let tasks = proptest::collection::vec(task_strategy(), n);
+        let deps = proptest::collection::vec(proptest::collection::vec(0usize..n.max(1), 0..4), n);
+        (tasks, deps, 0usize..3, 1usize..6, any::<u64>()).prop_map(
+            move |(tasks, raw_deps, machine_idx, workers, seed)| {
+                // Only edges to strictly earlier tasks: guarantees a DAG.
+                let deps = raw_deps
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ds)| {
+                        let mut ds: Vec<usize> = ds.into_iter().filter(|&d| d < i).collect();
+                        ds.sort_unstable();
+                        ds.dedup();
+                        ds
+                    })
+                    .collect();
+                GraphSpec { tasks, deps, machine_idx, workers, seed }
+            },
+        )
+    })
+}
+
+/// Build and run the spec's engine under `policy`; return everything
+/// observable: final host state, the report, and the full action trace.
+fn run(spec: &GraphSpec, policy: SchedPolicy) -> (u64, RunReport, Vec<(f64, SchedAction)>) {
+    // All three paper machines have a GPU, so mixed CPU/GPU DAGs are
+    // always schedulable.
+    let machines = MachineProfile::all();
+    let machine = &machines[spec.machine_idx];
+    let mut engine: Engine<u64> = Engine::with_workers(machine, spec.workers, spec.seed);
+    engine.set_sched_policy(policy);
+    engine.enable_trace();
+    let mut ids = Vec::with_capacity(spec.tasks.len());
+    for (i, t) in spec.tasks.iter().enumerate() {
+        let id = match *t {
+            TaskSpec::Cpu { flops, children } => engine.add_cpu_task(move |s: &mut u64, ctx| {
+                *s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i as u64);
+                for c in 0..children {
+                    ctx.spawn_cpu(move |s: &mut u64, _| {
+                        *s = s.wrapping_add((i * 31 + c + 1) as u64);
+                        Charge::Secs(1.0e-7 * (c + 1) as f64)
+                    });
+                }
+                Charge::Work(CpuWork::new(f64::from(flops), f64::from(flops) / 2.0))
+            }),
+            TaskSpec::Gpu { manager_nanos, requeue } => {
+                let mut polled = false;
+                engine.add_gpu_task(GpuTaskClass::Execute, move |s: &mut u64, ctx| {
+                    if requeue && !polled {
+                        polled = true;
+                        return Ok(GpuOutcome::Requeue { ready_at: ctx.now + 3.0e-6 });
+                    }
+                    *s = s.wrapping_mul(31).wrapping_add(i as u64);
+                    Ok(GpuOutcome::Done { manager_secs: f64::from(manager_nanos) * 1.0e-9 })
+                })
+            }
+        };
+        ids.push(id);
+    }
+    for (i, ds) in spec.deps.iter().enumerate() {
+        for &d in ds {
+            engine.add_dependency(ids[i], ids[d]).expect("valid dependency");
+        }
+    }
+    let mut state = 0u64;
+    let report = engine.run(&mut state).expect("acyclic graphs never deadlock");
+    (state, report, engine.take_trace())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_scheduler_matches_naive_oracle(spec in graph_strategy()) {
+        let (state_inc, report_inc, trace_inc) = run(&spec, SchedPolicy::Incremental);
+        let (state_scan, report_scan, trace_scan) = run(&spec, SchedPolicy::NaiveScan);
+
+        prop_assert_eq!(state_inc, state_scan, "host-state mutation order diverged");
+        // The report comparison covers makespan, per-worker busy time,
+        // steal/steal_attempt counters (RNG consumption), requeues, and
+        // the new sched_steps / eligibility_rescans counters.
+        prop_assert_eq!(&report_inc, &report_scan, "RunReport diverged");
+        prop_assert_eq!(trace_inc.len(), trace_scan.len(), "trace length diverged");
+        for (k, (a, b)) in trace_inc.iter().zip(&trace_scan).enumerate() {
+            prop_assert_eq!(a, b, "decision {} diverged (of {})", k, trace_inc.len());
+        }
+        prop_assert_eq!(report_inc.sched_steps, trace_inc.len(),
+            "sched_steps counts exactly the trace entries");
+    }
+}

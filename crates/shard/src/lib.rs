@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use petal_apps::{benchmark_from_spec, Benchmark};
-use petal_farm::wire::{Message, Record, WIRE_VERSION};
+use petal_farm::wire::{Message, Record, WireEncoder, WIRE_VERSION};
 use petal_gpu::profile::MachineProfile;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -41,26 +41,40 @@ fn err(message: impl Into<String>) -> ServeError {
     ServeError { message: message.into() }
 }
 
-fn send(output: &mut impl Write, msg: &Message) -> Result<(), ServeError> {
-    let mut line = msg.encode();
-    line.push('\n');
-    output
-        .write_all(line.as_bytes())
-        .and_then(|()| output.flush())
-        .map_err(|e| err(format!("writing to parent: {e}")))
+/// Reusable per-session I/O buffers: one `RESULT` is encoded and one
+/// `JOB` line read back per trial, so keeping the encoder and both line
+/// buffers across the serve loop makes the steady state allocation-free.
+#[derive(Default)]
+struct SessionBufs {
+    enc: WireEncoder,
+    line_out: String,
+    line_in: String,
 }
 
-/// Read one line; `Ok(None)` on clean EOF.
-fn recv_line(input: &mut impl BufRead) -> Result<Option<String>, ServeError> {
-    let mut line = String::new();
-    let n = input.read_line(&mut line).map_err(|e| err(format!("reading from parent: {e}")))?;
-    if n == 0 {
-        return Ok(None);
+impl SessionBufs {
+    fn send(&mut self, output: &mut impl Write, msg: &Message) -> Result<(), ServeError> {
+        self.enc.encode_into(msg, &mut self.line_out);
+        self.line_out.push('\n');
+        output
+            .write_all(self.line_out.as_bytes())
+            .and_then(|()| output.flush())
+            .map_err(|e| err(format!("writing to parent: {e}")))
     }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+
+    /// Read one line into the reused buffer; `Ok(false)` on clean EOF.
+    fn recv_line(&mut self, input: &mut impl BufRead) -> Result<bool, ServeError> {
+        self.line_in.clear();
+        let n = input
+            .read_line(&mut self.line_in)
+            .map_err(|e| err(format!("reading from parent: {e}")))?;
+        if n == 0 {
+            return Ok(false);
+        }
+        while self.line_in.ends_with('\n') || self.line_in.ends_with('\r') {
+            self.line_in.pop();
+        }
+        Ok(true)
     }
-    Ok(Some(line))
 }
 
 /// Serve one shard session over a message stream: `INIT` → `READY`, then
@@ -75,7 +89,11 @@ fn recv_line(input: &mut impl BufRead) -> Result<Option<String>, ServeError> {
 /// benchmark spec) or I/O failure. The parent treats a dead worker as a
 /// fatal dispatch error, so erring out loudly is correct.
 pub fn serve(mut input: impl BufRead, mut output: impl Write) -> Result<(), ServeError> {
-    let first = recv_line(&mut input)?.ok_or_else(|| err("EOF before INIT"))?;
+    let mut bufs = SessionBufs::default();
+    if !bufs.recv_line(&mut input)? {
+        return Err(err("EOF before INIT"));
+    }
+    let first = bufs.line_in.clone();
     // Check the advertised version *before* decoding the full INIT: a
     // future wire version may change the INIT layout itself, and the
     // version-skew diagnostic must fire in exactly that case (a layout
@@ -101,13 +119,13 @@ pub fn serve(mut input: impl BufRead, mut output: impl Write) -> Result<(), Serv
             }
             other => return Err(err(format!("expected INIT, got {other:?}"))),
         };
-    send(&mut output, &Message::Ready { version: WIRE_VERSION })?;
+    bufs.send(&mut output, &Message::Ready { version: WIRE_VERSION })?;
 
-    while let Some(line) = recv_line(&mut input)? {
-        match Message::decode(&line).map_err(|e| err(e.to_string()))? {
+    while bufs.recv_line(&mut input)? {
+        match Message::decode(&bufs.line_in).map_err(|e| err(e.to_string()))? {
             Message::Job { index, job } => {
                 let outcome = petal_farm::evaluate_job(&*bench, &machine, &job);
-                send(&mut output, &Message::Result { index, outcome })?;
+                bufs.send(&mut output, &Message::Result { index, outcome })?;
             }
             Message::Done => return Ok(()),
             other => return Err(err(format!("expected JOB or DONE, got {other:?}"))),
