@@ -21,6 +21,9 @@ cargo test -q --offline
 echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings: docs can never rot)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
+echo "== petal-verify --all --deny (static plan/choice-space verification, smoke budget)"
+PETAL_SMOKE=1 cargo run --release --offline -p petal_analysis --bin petal-verify -- --all --deny
+
 echo "== smoke-mode criterion suites (PETAL_SMOKE=1, reduced sizes/samples)"
 PETAL_SMOKE=1 cargo bench --offline
 

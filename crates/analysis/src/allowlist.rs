@@ -1,0 +1,156 @@
+//! The warning allowlist: accepted findings with written justifications.
+//!
+//! Only [`Severity::Warning`] findings
+//! may be allowlisted — an entry matching an error is ignored (errors are
+//! correctness violations, and silencing one would defeat the verifier).
+//! Each entry must say *why* the finding is acceptable; the justification
+//! is printed with the finding so a reader of the report never has to
+//! hunt for it.
+
+use crate::report::{Finding, Severity};
+
+/// One accepted warning.
+#[derive(Debug, Clone, Copy)]
+pub struct AllowEntry {
+    /// Benchmark display name the entry applies to (matches
+    /// [`Finding::benchmark`]).
+    pub benchmark: &'static str,
+    /// Finding key the entry applies to (matches [`Finding::key`]).
+    pub key: &'static str,
+    /// Written justification — required, printed verbatim in reports.
+    pub why: &'static str,
+}
+
+/// The committed allowlist. Keep this SHORT: every entry is a known wart.
+pub const ALLOWLIST: &[AllowEntry] = &[
+    AllowEntry {
+        benchmark: "sort",
+        key: "dead-tunable:sequential_cutoff",
+        why: "sort lowers to either one opaque native step (recursive merge \
+              sort, whose own cutoff `merge_parallel_cutoff` is declared \
+              dynamic) or a fixed whole-device bitonic chain; no CPU stencil \
+              chunking exists for the global cutoff to steer",
+    },
+    AllowEntry {
+        benchmark: "sort",
+        key: "dead-tunable:split_rows",
+        why: "sort's buffers are 1-row vectors, so row splitting can never \
+              produce more than one chunk; the workspace-standard \
+              `split_rows` knob is structurally inert here",
+    },
+    AllowEntry {
+        benchmark: "strassen",
+        key: "dead-tunable:sequential_cutoff",
+        why: "live on every machine with an OpenCL device (the blocked \
+              stencil fallback chunks via `cpu_chunks`); on no-device \
+              profiles every multiply lowers to native leaf/recursive steps \
+              that manage their own blocking, so the stencil chunking knob \
+              has nothing to steer there",
+    },
+    AllowEntry {
+        benchmark: "strassen",
+        key: "dead-tunable:split_rows",
+        why: "same machine-conditional liveness as strassen's \
+              `sequential_cutoff`: only the device-capable stencil fallback \
+              consults the stencil chunking knobs",
+    },
+    AllowEntry {
+        benchmark: "tridiagonal",
+        key: "dead-tunable:sequential_cutoff",
+        why: "tridiagonal's CPU algorithms (Thomas, two-way) are native \
+              closures with fixed structure; the stencil chain only exists \
+              for the cyclic-reduction choice, which pins its kernels to the \
+              device — so on no-device profiles no CPU stencil chunking \
+              exists",
+    },
+    AllowEntry {
+        benchmark: "tridiagonal",
+        key: "dead-tunable:split_rows",
+        why: "same as tridiagonal's `sequential_cutoff`: no CPU-placed \
+              stencil step exists on no-device profiles",
+    },
+    AllowEntry {
+        benchmark: "svd",
+        key: "dead-selector:matmul_svd",
+        why: "the nested multiply selector is live only through a piecewise \
+              cutoff descent beneath the device multiply (choice 6), which \
+              requires an OpenCL device and `svd_rank` = n (square A·Vk); \
+              the prober's constant-selector bases cannot reach that joint \
+              assignment, and on no-device profiles choice 6 does not exist \
+              so the A·Vk product always runs as a BLAS leaf",
+    },
+    AllowEntry {
+        benchmark: "svd",
+        key: "dead-tunable:matmul_svd.gpu_ratio",
+        why: "consulted only inside the choice-6 device multiply, reachable \
+              only under the joint assignment `matmul_svd` = 6 and \
+              `svd_rank` = n — one knob deeper than the prober's pairwise + \
+              augmented bases probe (documented limitation in \
+              docs/verify.md)",
+    },
+    AllowEntry {
+        benchmark: "svd",
+        key: "dead-tunable:matmul_svd.local_size",
+        why: "same joint-reachability gap as `matmul_svd.gpu_ratio`: live \
+              only when the choice-6 device multiply is actually lowered",
+    },
+];
+
+/// Stamp `allowed` on every warning covered by the committed allowlist.
+pub fn apply(findings: &mut [Finding]) {
+    apply_entries(findings, ALLOWLIST);
+}
+
+/// Stamp `allowed` using an explicit entry set (tests use this to check
+/// matching semantics without depending on the committed list).
+pub fn apply_entries(findings: &mut [Finding], entries: &[AllowEntry]) {
+    for f in findings {
+        if f.severity != Severity::Warning {
+            continue;
+        }
+        if let Some(e) = entries.iter().find(|e| e.benchmark == f.benchmark && e.key == f.key) {
+            f.allowed = Some(e.why);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Pass, Severity};
+
+    fn finding(severity: Severity, benchmark: &str, key: &str) -> Finding {
+        Finding {
+            pass: Pass::ChoiceSpace,
+            severity,
+            benchmark: benchmark.into(),
+            machine: "desktop".into(),
+            key: key.into(),
+            message: String::new(),
+            allowed: None,
+        }
+    }
+
+    #[test]
+    fn warnings_match_on_benchmark_and_key() {
+        let entries = [AllowEntry { benchmark: "Sort", key: "dead-tunable:x", why: "test" }];
+        let mut fs = vec![
+            finding(Severity::Warning, "Sort", "dead-tunable:x"),
+            finding(Severity::Warning, "Sort", "dead-tunable:y"),
+            finding(Severity::Warning, "Strassen", "dead-tunable:x"),
+        ];
+        apply_entries(&mut fs, &entries);
+        assert_eq!(fs[0].allowed, Some("test"));
+        assert!(fs[1].allowed.is_none(), "key must match");
+        assert!(fs[2].allowed.is_none(), "benchmark must match");
+    }
+
+    #[test]
+    fn errors_are_never_allowlisted() {
+        let entries = [AllowEntry { benchmark: "Sort", key: "hazard:ww:0-1", why: "nope" }];
+        let mut fs = vec![finding(Severity::Error, "Sort", "hazard:ww:0-1")];
+        apply_entries(&mut fs, &entries);
+        assert!(fs[0].allowed.is_none());
+        assert!(fs[0].denied(), "an error always fails --deny");
+    }
+}

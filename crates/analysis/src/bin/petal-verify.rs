@@ -1,0 +1,114 @@
+//! `petal-verify` — static plan/DAG verifier, determinism auditor, and
+//! choice-space linter.
+//!
+//! ```text
+//! petal-verify --all [--deny]            # full benchmark × machine matrix
+//! petal-verify --bench Sort [--deny]     # one benchmark, all machines
+//! petal-verify --machine desktop --all   # restrict the machine axis
+//! ```
+//!
+//! `--deny` exits non-zero on any error or non-allowlisted warning — the
+//! mode CI runs. `PETAL_SMOKE=1` switches to the fast probing budget and
+//! skips the autotuned-config sweep.
+
+use petal_analysis::verify::{verify_benchmark, VerifyOptions};
+use petal_analysis::VerifyReport;
+use petal_apps::all_benchmarks;
+use petal_gpu::profile::MachineProfile;
+use std::process::ExitCode;
+
+struct Args {
+    all: bool,
+    deny: bool,
+    bench: Option<String>,
+    machine: Option<String>,
+}
+
+const USAGE: &str = "usage: petal-verify (--all | --bench NAME) [--machine CODENAME] [--deny]
+  --all               verify every benchmark
+  --bench NAME        verify one benchmark (e.g. Sort, Strassen)
+  --machine CODENAME  restrict to one machine profile (default: all extended profiles)
+  --deny              exit non-zero on any denied finding (CI mode)
+environment: PETAL_SMOKE=1 selects the fast probing budget";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { all: false, deny: false, bench: None, machine: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => args.all = true,
+            "--deny" => args.deny = true,
+            "--bench" => {
+                args.bench = Some(it.next().ok_or("--bench needs a benchmark name")?);
+            }
+            "--machine" => {
+                args.machine = Some(it.next().ok_or("--machine needs a codename")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.all == args.bench.is_some() {
+        return Err("pass exactly one of --all or --bench NAME".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("petal-verify: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let smoke = std::env::var("PETAL_SMOKE").is_ok_and(|v| v == "1");
+    let options = if smoke { VerifyOptions::smoke() } else { VerifyOptions::full() };
+
+    let benchmarks: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| args.bench.as_deref().map_or(true, |want| b.name().eq_ignore_ascii_case(want)))
+        .collect();
+    if benchmarks.is_empty() {
+        eprintln!(
+            "petal-verify: no benchmark named `{}` (have: {})",
+            args.bench.as_deref().unwrap_or(""),
+            all_benchmarks().iter().map(|b| b.name().to_owned()).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    let machines: Vec<_> = MachineProfile::extended()
+        .into_iter()
+        .filter(|m| args.machine.as_deref().map_or(true, |want| m.codename == want))
+        .collect();
+    if machines.is_empty() {
+        eprintln!(
+            "petal-verify: no machine profile `{}` (have: {})",
+            args.machine.as_deref().unwrap_or(""),
+            MachineProfile::extended()
+                .iter()
+                .map(|m| m.codename.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut report = VerifyReport::default();
+    for benchmark in &benchmarks {
+        for machine in &machines {
+            report.merge(verify_benchmark(benchmark.as_ref(), machine, &options));
+        }
+    }
+
+    print!("{}", report.render());
+    if args.deny && !report.deny_clean() {
+        eprintln!("petal-verify: --deny: failing on the finding(s) above");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

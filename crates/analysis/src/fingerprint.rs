@@ -1,0 +1,88 @@
+//! Structural plan fingerprints for dead-choice probing.
+//!
+//! Two plans with the same fingerprint lower to the same task structure:
+//! same step kinds in the same order, same placements, same buffer wiring,
+//! same dependence edges. The linter varies one configuration knob at a
+//! time and declares the knob *dead* when no probed variation ever changes
+//! the fingerprint — the knob provably cannot affect what the executor
+//! does (closures inside native steps excepted; see
+//! `Benchmark::dynamic_config_keys`).
+
+use petal_core::plan::{Plan, Step, StepKind};
+
+/// FNV-1a, 64-bit. A hand-rolled hash keeps fingerprints stable across
+/// processes (so reports are reproducible verbatim), which `DefaultHasher`
+/// does not guarantee.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+}
+
+fn hash_step(h: &mut Fnv, step: &Step) {
+    match &step.kind {
+        StepKind::Stencil(s) => {
+            h.write(&[1]);
+            h.write_str(&s.rule.name);
+            // Placement debug form covers the variant and every knob
+            // (chunks, local_size, local_memory, gpu_eighths).
+            h.write_str(&format!("{:?}", s.placement));
+            h.write_usize(s.out_dims.0);
+            h.write_usize(s.out_dims.1);
+            for sc in &s.user_scalars {
+                h.write(&sc.to_bits().to_le_bytes());
+            }
+        }
+        StepKind::Native(n) => {
+            h.write(&[2]);
+            h.write_str(&n.label);
+        }
+    }
+    for m in step.reads() {
+        h.write_usize(m.index());
+    }
+    h.write(&[0xfe]);
+    for m in step.writes() {
+        h.write_usize(m.index());
+    }
+    h.write(&[0xfd]);
+    for d in &step.deps {
+        h.write_usize(d.index());
+    }
+}
+
+/// Structural fingerprint of a lowered plan.
+#[must_use]
+pub fn plan_fingerprint(plan: &Plan) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(plan.steps().len());
+    for step in plan.steps() {
+        hash_step(&mut h, step);
+    }
+    for m in plan.outputs() {
+        h.write_usize(m.index());
+    }
+    h.0
+}

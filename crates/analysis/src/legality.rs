@@ -1,0 +1,274 @@
+//! Pass 1 (hazards) and pass 2 (placement/movement legality).
+//!
+//! Pass 2 replays the §3.2 copy-out classification *independently of
+//! schedule order*: `analyze_movement` scans steps in creation order, which
+//! is only a valid linearization of the dependence DAG when the plan is
+//! hazard-free — so the movement cross-check is meaningful (and is run)
+//! only after pass 1 comes back clean.
+
+use crate::report::{Finding, Pass, Severity};
+use petal_core::plan::{
+    analyze_movement, hazards, reachability, CopyOutPolicy, Placement, Plan, StepKind,
+};
+use petal_gpu::profile::MachineProfile;
+
+/// Pass 1: report every unordered read-write / write-write step pair.
+#[must_use]
+pub fn check_hazards(plan: &Plan) -> Vec<Finding> {
+    hazards(plan)
+        .into_iter()
+        .map(|h| {
+            let (a, b) = h.steps;
+            let steps = plan.steps();
+            Finding {
+                pass: Pass::Hazard,
+                severity: Severity::Error,
+                benchmark: String::new(),
+                machine: String::new(),
+                key: format!("hazard:{}:{}-{}", h.kind, a.index(), b.index()),
+                message: format!(
+                    "{} hazard on m{}: step {} (`{}`) and step {} (`{}`) are \
+                     unordered in the dependence DAG — the result depends on \
+                     scheduling",
+                    h.kind,
+                    h.matrix.index(),
+                    a.index(),
+                    steps[a.index()].describe(),
+                    b.index(),
+                    steps[b.index()].describe(),
+                ),
+                allowed: None,
+            }
+        })
+        .collect()
+}
+
+/// Pass 2a: every placement must be realizable on `machine` and legal for
+/// its rule.
+#[must_use]
+pub fn check_placements(plan: &Plan, machine: &MachineProfile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let max_wg = machine.gpu.as_ref().map_or(0, |g| g.max_work_group);
+    let mut emit = |key: String, message: String| {
+        out.push(Finding {
+            pass: Pass::Legality,
+            severity: Severity::Error,
+            benchmark: String::new(),
+            machine: machine.codename.clone(),
+            key,
+            message,
+            allowed: None,
+        });
+    };
+    for (i, step) in plan.steps().iter().enumerate() {
+        let StepKind::Stencil(s) = &step.kind else { continue };
+        let name = &s.rule.name;
+        match s.placement {
+            Placement::Cpu { chunks } => {
+                if chunks == 0 {
+                    emit(
+                        format!("placement:zero-chunks:{i}"),
+                        format!("step {i} (`{name}`): CPU placement with zero chunks"),
+                    );
+                }
+            }
+            Placement::OpenCl { local_memory, local_size }
+            | Placement::Split { local_memory, local_size, .. } => {
+                if !machine.has_opencl() {
+                    emit(
+                        format!("placement:no-device:{i}"),
+                        format!(
+                            "step {i} (`{name}`): OpenCL placement on `{}`, which has \
+                             no OpenCL device",
+                            machine.codename
+                        ),
+                    );
+                } else {
+                    if let Err(reject) = s.rule.opencl_verdict() {
+                        emit(
+                            format!("placement:unmappable:{i}"),
+                            format!(
+                                "step {i} (`{name}`): placed on OpenCL but the rule is \
+                                 not mappable: {reject}"
+                            ),
+                        );
+                    }
+                    if local_size == 0 || local_size > max_wg {
+                        emit(
+                            format!("placement:local-size:{i}"),
+                            format!(
+                                "step {i} (`{name}`): local_size {local_size} outside \
+                                 1..={max_wg} for `{}`",
+                                machine.codename
+                            ),
+                        );
+                    }
+                }
+                if local_memory && !s.rule.has_local_memory_variant() {
+                    emit(
+                        format!("placement:no-local-variant:{i}"),
+                        format!(
+                            "step {i} (`{name}`): local-memory placement but the rule \
+                             has no scratchpad variant"
+                        ),
+                    );
+                }
+                if let Placement::Split { gpu_eighths, cpu_chunks, .. } = s.placement {
+                    if !(1..=7).contains(&gpu_eighths) {
+                        emit(
+                            format!("placement:split-ratio:{i}"),
+                            format!(
+                                "step {i} (`{name}`): split placement with gpu_eighths \
+                                 {gpu_eighths} outside 1..=7"
+                            ),
+                        );
+                    }
+                    if cpu_chunks == 0 {
+                        emit(
+                            format!("placement:zero-chunks:{i}"),
+                            format!("step {i} (`{name}`): split placement with zero CPU chunks"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The copy-out level a consumer set demands, replayed from the dependence
+/// DAG instead of schedule order.
+fn required_policy(plan: &Plan, reach: &petal_rt::Reachability, producer: usize) -> CopyOutPolicy {
+    let steps = plan.steps();
+    let StepKind::Stencil(s) = &steps[producer].kind else {
+        unreachable!("caller filters to stencil steps")
+    };
+    let m = s.output;
+    // §3.2's analysis treats any producer of a program output conservatively
+    // as host-consumed (the executor copies outputs eagerly); replicate.
+    let mut cpu = plan.outputs().contains(&m);
+    let mut gpu = false;
+    let mut dynamic = false;
+    for (j, t) in steps.iter().enumerate() {
+        if j == producer || !t.reads().contains(&m) || !reach.depends_on(j, producer) {
+            continue;
+        }
+        // An intermediate writer kills the value before `j` reads it.
+        let overwritten = steps.iter().enumerate().any(|(k, w)| {
+            k != producer
+                && k != j
+                && w.writes().contains(&m)
+                && reach.depends_on(k, producer)
+                && reach.depends_on(j, k)
+        });
+        if overwritten {
+            continue;
+        }
+        match &t.kind {
+            StepKind::Stencil(u) => {
+                if u.placement.uses_opencl() {
+                    gpu = true;
+                } else {
+                    cpu = true;
+                }
+            }
+            StepKind::Native(_) => dynamic = true,
+        }
+    }
+    if cpu {
+        CopyOutPolicy::Eager
+    } else if dynamic {
+        CopyOutPolicy::Lazy
+    } else if gpu {
+        CopyOutPolicy::Reused
+    } else {
+        CopyOutPolicy::Eager // dead value: copy for safety
+    }
+}
+
+/// Pass 2b: cross-check a copy-out classification against the
+/// dependence-graph replay. `policies` is normally
+/// [`analyze_movement`]`(plan)` — the executor's own input — but hostile
+/// tests may inject a doctored classification.
+///
+/// Only meaningful on hazard-free plans (see module docs).
+#[must_use]
+pub fn check_movement(plan: &Plan, policies: &[Option<CopyOutPolicy>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let reach = reachability(plan);
+    for (i, step) in plan.steps().iter().enumerate() {
+        let StepKind::Stencil(s) = &step.kind else { continue };
+        if !s.placement.uses_opencl() {
+            continue;
+        }
+        let name = &s.rule.name;
+        let actual = policies.get(i).copied().flatten();
+        // A fractional split leaves part of the matrix host-computed; the
+        // device part must always consolidate eagerly.
+        let required = if matches!(s.placement, Placement::Split { .. }) {
+            CopyOutPolicy::Eager
+        } else {
+            required_policy(plan, &reach, i)
+        };
+        let Some(actual) = actual else {
+            out.push(Finding {
+                pass: Pass::Legality,
+                severity: Severity::Error,
+                benchmark: String::new(),
+                machine: String::new(),
+                key: format!("movement:missing-policy:{i}"),
+                message: format!(
+                    "step {i} (`{name}`): OpenCL-placed output m{} has no copy-out \
+                     policy",
+                    s.output.index()
+                ),
+                allowed: None,
+            });
+            continue;
+        };
+        if actual != required {
+            let detail = match (actual, required) {
+                (CopyOutPolicy::Reused, CopyOutPolicy::Eager) => {
+                    "a host consumer (or program output) reads it with no transfer \
+                     on any path"
+                }
+                (CopyOutPolicy::Reused, CopyOutPolicy::Lazy) => {
+                    "dynamic control flow reads it on the host with no transfer and \
+                     no deferred-copy entry"
+                }
+                (CopyOutPolicy::Lazy, CopyOutPolicy::Eager) => {
+                    "a host consumer relies on a deferred copy-out the executor \
+                     never forces"
+                }
+                _ => "the classification does not match the dependence-graph replay",
+            };
+            out.push(Finding {
+                pass: Pass::Legality,
+                severity: Severity::Error,
+                benchmark: String::new(),
+                machine: String::new(),
+                key: format!("movement:{i}"),
+                message: format!(
+                    "step {i} (`{name}`): output m{} classified {actual:?} but the \
+                     dependence DAG requires {required:?} — {detail}",
+                    s.output.index()
+                ),
+                allowed: None,
+            });
+        }
+    }
+    out
+}
+
+/// Run pass 1 and pass 2 on one lowered plan. The movement cross-check is
+/// skipped when hazards exist (its precondition fails).
+#[must_use]
+pub fn check_plan(plan: &Plan, machine: &MachineProfile) -> Vec<Finding> {
+    let mut findings = check_hazards(plan);
+    let hazard_free = findings.is_empty();
+    findings.extend(check_placements(plan, machine));
+    if hazard_free {
+        findings.extend(check_movement(plan, &analyze_movement(plan)));
+    }
+    findings
+}

@@ -1,0 +1,142 @@
+//! Finding and report types shared by the three verifier passes.
+
+use std::fmt;
+
+/// Which verifier pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Hazard/race detection over the dependence DAG.
+    Hazard,
+    /// Placement and data-movement legality.
+    Legality,
+    /// Choice-space linting (dead tunables, shadowed selector arms).
+    ChoiceSpace,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pass::Hazard => write!(f, "hazard"),
+            Pass::Legality => write!(f, "legality"),
+            Pass::ChoiceSpace => write!(f, "choice-space"),
+        }
+    }
+}
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Search-space waste or suspicious-but-safe structure. Fails a
+    /// `--deny` run unless allowlisted.
+    Warning,
+    /// A correctness invariant is violated; never allowlistable.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Severity.
+    pub severity: Severity,
+    /// Benchmark display name (empty for plan-only checks not yet
+    /// attributed to a benchmark).
+    pub benchmark: String,
+    /// Machine codename (empty when machine-independent).
+    pub machine: String,
+    /// Stable key identifying the finding class and subject, e.g.
+    /// `dead-tunable:split_rows` — what the allowlist matches on.
+    pub key: String,
+    /// Human-readable, step/tunable-precise diagnostic.
+    pub message: String,
+    /// `Some(justification)` when an allowlist entry covers this finding.
+    pub allowed: Option<&'static str>,
+}
+
+impl Finding {
+    /// True when this finding fails a `--deny` run: every error, plus any
+    /// warning not covered by the allowlist.
+    #[must_use]
+    pub fn denied(&self) -> bool {
+        self.severity == Severity::Error || self.allowed.is_none()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}]", self.pass, self.severity)?;
+        if !self.benchmark.is_empty() {
+            write!(f, " {}", self.benchmark)?;
+        }
+        if !self.machine.is_empty() {
+            write!(f, " on {}", self.machine)?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(why) = self.allowed {
+            write!(f, " [allowed: {why}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated result of a verification run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Plans inspected by the hazard/legality passes.
+    pub plans_checked: usize,
+    /// Configurations instantiated by the choice-space linter.
+    pub configs_probed: usize,
+}
+
+impl VerifyReport {
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.findings.extend(other.findings);
+        self.plans_checked += other.plans_checked;
+        self.configs_probed += other.configs_probed;
+    }
+
+    /// Findings that fail a `--deny` run.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.denied())
+    }
+
+    /// True when a `--deny` run passes.
+    #[must_use]
+    pub fn deny_clean(&self) -> bool {
+        self.denied().next().is_none()
+    }
+
+    /// Multi-line human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{f}");
+        }
+        let denied = self.denied().count();
+        let allowed = self.findings.iter().filter(|f| f.allowed.is_some()).count();
+        let _ = writeln!(
+            out,
+            "petal-verify: {} plans checked, {} configs probed, {} finding(s) \
+             ({denied} denied, {allowed} allowlisted)",
+            self.plans_checked,
+            self.configs_probed,
+            self.findings.len(),
+        );
+        out
+    }
+}

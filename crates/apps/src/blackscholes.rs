@@ -122,6 +122,7 @@ impl crate::Benchmark for BlackScholes {
             opencl: true,
             // Point access: bounding box 1, so no scratchpad variant (§3.1).
             local_memory_variant: false,
+            fractional: true,
         });
         p
     }

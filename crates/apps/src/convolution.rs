@@ -221,6 +221,7 @@ impl crate::Benchmark for SeparableConvolution {
             num_algs: 2,
             opencl: false,
             local_memory_variant: false,
+            fractional: false,
         });
         for t in ["convolve2d", "convolve_rows", "convolve_columns"] {
             p.add_site(ChoiceSite {
@@ -228,6 +229,7 @@ impl crate::Benchmark for SeparableConvolution {
                 num_algs: 1,
                 opencl: true,
                 local_memory_variant: true,
+                fractional: true,
             });
         }
         p

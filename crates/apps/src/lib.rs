@@ -104,6 +104,17 @@ pub trait Benchmark: Send + Sync {
         None
     }
 
+    /// Config keys (selector or tunable names) consulted by *dynamic*
+    /// control flow — closures inside `NativeStep`s that re-read the
+    /// configuration at runtime, invisible to any static analysis of the
+    /// lowered plan. The choice-space linter (`petal-verify`) must not
+    /// flag these as dead just because varying them leaves the plan's
+    /// structure unchanged. Default: none (every key's effect is visible
+    /// in the plan).
+    fn dynamic_config_keys(&self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Convenience: run with the untuned default configuration.
     ///
     /// # Errors

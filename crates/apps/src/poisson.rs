@@ -176,12 +176,14 @@ impl crate::Benchmark for Poisson2D {
             num_algs: 1,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         p.add_site(ChoiceSite {
             name: "sor_iter".into(),
             num_algs: 1,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         p
     }

@@ -112,9 +112,20 @@ impl crate::Benchmark for Sort {
             num_algs: 7,
             opencl: true,
             local_memory_variant: false,
+            // The bitonic chain always runs whole stages on the device; no
+            // fractional CPU/GPU split exists, so emitting `sort.gpu_ratio`
+            // would be a dead tunable (petal-verify finding, fixed).
+            fractional: false,
         });
         p.add_tunable("merge_parallel_cutoff", 1 << 15, 16, 1 << 24);
         p
+    }
+
+    fn dynamic_config_keys(&self) -> Vec<String> {
+        // The CPU path is one opaque native step whose closure re-reads the
+        // `sort` selector and the merge cutoff at every recursion level;
+        // varying them changes behaviour without changing plan structure.
+        vec!["sort".into(), "merge_parallel_cutoff".into()]
     }
 
     fn instantiate(&self, machine: &MachineProfile, cfg: &Config) -> Instance {

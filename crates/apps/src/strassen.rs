@@ -90,14 +90,19 @@ pub fn build_matmul(
             let local_size =
                 cfg.tunable_or(&format!("{selector}.local_size"), 128).clamp(1, max_wg) as usize;
             let ratio = cfg.tunable_or(&format!("{selector}.gpu_ratio"), 8).clamp(0, 8) as u8;
+            // The CPU-side portion chunks like every other stencil: through
+            // `cpu_chunks`, so `sequential_cutoff` / `split_rows` actually
+            // steer it (petal-verify: dead-tunable finding, fixed — the old
+            // hardcoded `cores * 2` ignored both knobs).
+            let chunks = petal_core::plan::cpu_chunks(cfg, machine, n);
             let placement = match ratio {
-                0 => Placement::Cpu { chunks: machine.cpu.cores * 2 },
+                0 => Placement::Cpu { chunks },
                 8 => Placement::OpenCl { local_memory: false, local_size },
                 e => Placement::Split {
                     gpu_eighths: e,
                     local_memory: false,
                     local_size,
-                    cpu_chunks: machine.cpu.cores * 2,
+                    cpu_chunks: chunks,
                 },
             };
             let s = p.stencil(
@@ -429,6 +434,7 @@ impl crate::Benchmark for Strassen {
             // deliberately not implemented (§6.2: "we have not implemented
             // a similar optimization").
             local_memory_variant: false,
+            fractional: true,
         });
         p
     }

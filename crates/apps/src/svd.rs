@@ -111,6 +111,15 @@ impl crate::Benchmark for Svd {
             .then(|| Box::new(Svd::new(size as usize, self.target)) as Box<dyn crate::Benchmark>)
     }
 
+    fn dynamic_config_keys(&self) -> Vec<String> {
+        // The kept rank `k` is captured by the Jacobi / truncation closures:
+        // it changes what they compute (and the accuracy/time trade-off) but
+        // is invisible to plan structure except in the degenerate k == n
+        // case, so the choice-space linter must not demand a structural
+        // effect from it.
+        vec!["svd_rank".into()]
+    }
+
     fn program(&self, _machine: &MachineProfile) -> Program {
         let mut p = Program::new("svd");
         p.add_site(ChoiceSite {
@@ -118,6 +127,7 @@ impl crate::Benchmark for Svd {
             num_algs: 1,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         // The nested multiply selector — distinct from Strassen's own.
         p.add_site(ChoiceSite {
@@ -125,6 +135,7 @@ impl crate::Benchmark for Svd {
             num_algs: 6,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         p.add_tunable("svd_rank", (self.n / 4).max(1) as i64, 1, self.n as i64);
         p

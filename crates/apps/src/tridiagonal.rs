@@ -183,6 +183,7 @@ impl crate::Benchmark for Tridiagonal {
             num_algs: 2,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         p
     }
@@ -205,20 +206,18 @@ impl crate::Benchmark for Tridiagonal {
                 let reduce = Self::rule_reduce();
                 let backsub = Self::rule_backsub();
                 let place = |rule: &Arc<StencilRule>, rows: usize| {
-                    match placement_from_config(
-                        cfg,
-                        "tridiag_kernel",
-                        n as u64,
-                        machine,
-                        rule,
-                        rows,
-                    ) {
-                        // The selector for the kernels themselves defaults
-                        // to the OpenCL backend (that is the point of
-                        // choice 2); honor only the tunables.
+                    match placement_from_config(cfg, "tridiag", n as u64, machine, rule, rows) {
+                        // Selector value 2 *is* the GPU chain (that is the
+                        // point of this branch); if the ratio tunable drives
+                        // the mapping back to pure CPU, honor the choice and
+                        // keep the kernels on the device. The site tunables
+                        // (`tridiag.local_size`, `tridiag.gpu_ratio`) are
+                        // consulted under the site's own name so the tuner
+                        // actually reaches them (petal-verify: dead-tunable
+                        // finding, fixed).
                         Placement::Cpu { .. } => Placement::OpenCl {
                             local_memory: false,
-                            local_size: cfg.tunable_or("tridiag_kernel.local_size", 128).clamp(
+                            local_size: cfg.tunable_or("tridiag.local_size", 128).clamp(
                                 1,
                                 machine.gpu.as_ref().map_or(1, |g| g.max_work_group) as i64,
                             ) as usize,

@@ -44,7 +44,7 @@ fn main() {
         TunerSettings { small_size_trial_fraction: 1.0, ..base.clone() },
         true,
     );
-    let both = run("IR cache + fewer small-size trials (paper)", base.clone(), true);
+    let both = run("IR cache + fewer small-size trials (paper)", base, true);
     println!(
         "\nspeedup from IR cache: {:.2}x; combined (paper's setup): {:.2}x",
         naive / cache_only,

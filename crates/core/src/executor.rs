@@ -83,6 +83,7 @@ pub struct Executor {
     device: Option<Device>,
     workers: usize,
     seed: u64,
+    sched_policy: Option<petal_rt::SchedPolicy>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -104,12 +105,23 @@ impl Executor {
             device: machine.gpu.clone().map(Device::new),
             workers: machine.cpu.cores,
             seed: 0x5eed,
+            sched_policy: None,
         }
     }
 
     /// Override the deterministic scheduling seed.
     pub fn set_seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pin the scheduling-core implementation instead of the process
+    /// default. The two policies are bit-identical in behavior (the
+    /// determinism audit in `petal_analysis` proves it on verifier-clean
+    /// plans); this knob exists so that proof can run both sides
+    /// explicitly.
+    pub fn set_sched_policy(&mut self, policy: petal_rt::SchedPolicy) -> &mut Self {
+        self.sched_policy = Some(policy);
         self
     }
 
@@ -144,6 +156,21 @@ impl Executor {
     /// Propagates scheduler deadlocks, device failures, and attempts to use
     /// OpenCL placements on a machine without a device.
     pub fn run(&mut self, plan: Plan, world: &mut World) -> Result<ExecReport, Error> {
+        // Cross-check the static analyzer's hazard-freedom claim: every plan
+        // the executor runs in a test build must be scheduling-independent,
+        // otherwise the movement analysis below (a schedule-order scan) is
+        // unsound and the determinism contract is void.
+        #[cfg(debug_assertions)]
+        {
+            let hs = crate::plan::hazards(&plan);
+            debug_assert!(
+                hs.is_empty(),
+                "plan has {} unordered data hazard(s); first: {:?} — \
+                 run petal-verify for the full report",
+                hs.len(),
+                hs[0]
+            );
+        }
         let policies = analyze_movement(&plan);
         // Per-run process-restart modeling (§5.4) lives in the evaluation
         // farm now: a farm trial gets a fresh executor (= fresh process)
@@ -158,6 +185,9 @@ impl Executor {
 
         let mut engine: Engine<World> =
             Engine::with_device_and_workers(&self.machine, self.workers, device, self.seed);
+        if let Some(policy) = self.sched_policy {
+            engine.set_sched_policy(policy);
+        }
 
         let (steps, _outputs) = plan.into_steps();
         // Native steps (the overwhelming majority in recursive plans) lower
@@ -175,7 +205,7 @@ impl Executor {
                 StepKind::Stencil(s) => {
                     let policy = policies[idx].unwrap_or(CopyOutPolicy::Eager);
                     let (init, term) =
-                        self.lower_stencil(&mut engine, s, policy, &mut compile_secs)?;
+                        self.lower_stencil(&mut engine, &s, policy, &mut compile_secs)?;
                     (TaskSet::Many(init), TaskSet::Many(term))
                 }
             };
@@ -206,7 +236,7 @@ impl Executor {
     fn lower_stencil(
         &mut self,
         engine: &mut Engine<World>,
-        s: StencilStep,
+        s: &StencilStep,
         policy: CopyOutPolicy,
         compile_secs: &mut f64,
     ) -> Result<(Vec<TaskId>, Vec<TaskId>), Error> {
@@ -294,7 +324,7 @@ impl Executor {
 
             let chain = self.gpu_invocation_chain(
                 engine,
-                &s,
+                s,
                 handle,
                 policy,
                 gpu_rows,
@@ -401,7 +431,6 @@ impl Executor {
         let execute = {
             let inv = Arc::clone(&inv);
             let rule = Arc::clone(&s.rule);
-            let inputs = inputs.clone();
             let scalars = s.user_scalars.clone();
             engine.add_gpu_task(GpuTaskClass::Execute, move |world: &mut World, ctx| {
                 let (st_bufs, out_buf) = {

@@ -140,6 +140,38 @@ pub struct Step {
     pub deps: Vec<StepId>,
 }
 
+impl Step {
+    /// Matrices this step reads (whole-matrix granularity). For stencils
+    /// this is the positional input list; for native steps the declared
+    /// `reads` set — reads outside it are a benchmark bug, which is exactly
+    /// what the hazard pass and the executor's debug cross-check assume.
+    #[must_use]
+    pub fn reads(&self) -> &[MatrixId] {
+        match &self.kind {
+            StepKind::Stencil(s) => &s.inputs,
+            StepKind::Native(n) => &n.reads,
+        }
+    }
+
+    /// Matrices this step writes (whole-matrix granularity).
+    #[must_use]
+    pub fn writes(&self) -> &[MatrixId] {
+        match &self.kind {
+            StepKind::Stencil(s) => std::slice::from_ref(&s.output),
+            StepKind::Native(n) => &n.writes,
+        }
+    }
+
+    /// Short human-readable name for diagnostics (rule name or label).
+    #[must_use]
+    pub fn describe(&self) -> &str {
+        match &self.kind {
+            StepKind::Stencil(s) => &s.rule.name,
+            StepKind::Native(n) => &n.label,
+        }
+    }
+}
+
 /// Copy-out policy assigned to an OpenCL-placed output (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CopyOutPolicy {
@@ -219,11 +251,22 @@ impl PlanBuilder {
     }
 
     fn push(&mut self, kind: StepKind, deps: &[StepId]) -> StepId {
-        for d in deps {
-            assert!(d.0 < self.steps.len(), "dependency {d:?} does not exist yet");
+        let this = StepId(self.steps.len());
+        for (i, d) in deps.iter().enumerate() {
+            assert!(
+                d.0 < self.steps.len(),
+                "step {this:?} ({kind:?}): dependency {d:?} does not exist yet \
+                 (self-references and forward edges are impossible in a plan DAG)"
+            );
+            assert!(
+                !deps[..i].contains(d),
+                "step {this:?} ({kind:?}): duplicate dependency {d:?} — each \
+                 predecessor may be listed once (the verifier's graph pass \
+                 assumes a well-formed DAG)"
+            );
         }
         self.steps.push(Step { kind, deps: deps.to_vec() });
-        StepId(self.steps.len() - 1)
+        this
     }
 
     /// Declare a matrix as a program output (forces eager copy-out).
@@ -238,6 +281,90 @@ impl PlanBuilder {
     pub fn build(self) -> Plan {
         Plan { steps: self.steps, outputs: self.outputs }
     }
+}
+
+/// Kind of a scheduling hazard between two unordered steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Both steps write the matrix; the surviving value depends on
+    /// scheduling order.
+    WriteWrite,
+    /// One step reads what the other writes with no ordering edge; the
+    /// reader may observe either the old or the new value.
+    ReadWrite,
+}
+
+impl std::fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HazardKind::WriteWrite => write!(f, "write-write"),
+            HazardKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// A pair of steps whose accesses to one matrix are not ordered by the
+/// dependence DAG — the plan's result could depend on the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hazard {
+    /// What kind of conflict.
+    pub kind: HazardKind,
+    /// The two conflicting steps (`first < second` in schedule order; for
+    /// read-write hazards `first` is not necessarily the writer).
+    pub steps: (StepId, StepId),
+    /// The matrix both steps touch.
+    pub matrix: MatrixId,
+}
+
+/// Build the transitive ordering relation of a plan's dependence DAG.
+#[must_use]
+pub fn reachability(plan: &Plan) -> petal_rt::Reachability {
+    petal_rt::Reachability::from_deps(plan.steps().len(), |i| {
+        plan.steps()[i].deps.iter().map(|d| d.0).collect::<Vec<_>>()
+    })
+}
+
+/// The hazard/race pass: report every pair of steps that touch the same
+/// matrix — at least one writing — with **no ordering path** between them in
+/// the dependence DAG. A clean (empty) result means the plan's output is
+/// independent of scheduling, which is the precondition both for the
+/// determinism contract and for [`analyze_movement`]'s schedule-order
+/// consumer scan being sound.
+///
+/// Granularity is the whole `MatrixId`: two writers of disjoint regions of
+/// one matrix must still be ordered (or split the matrix), matching the
+/// conservative contract `NativeStep::reads`/`writes` already declares.
+#[must_use]
+pub fn hazards(plan: &Plan) -> Vec<Hazard> {
+    let steps = plan.steps();
+    let reach = reachability(plan);
+    // Group accesses per matrix: (step index, is_write).
+    let mut by_matrix: std::collections::BTreeMap<MatrixId, Vec<(usize, bool)>> =
+        std::collections::BTreeMap::new();
+    for (i, step) in steps.iter().enumerate() {
+        for m in step.reads() {
+            by_matrix.entry(*m).or_default().push((i, false));
+        }
+        for m in step.writes() {
+            by_matrix.entry(*m).or_default().push((i, true));
+        }
+    }
+    let mut found = Vec::new();
+    for (matrix, accesses) in by_matrix {
+        for (ai, &(i, iw)) in accesses.iter().enumerate() {
+            for &(j, jw) in &accesses[ai + 1..] {
+                if i == j || (!iw && !jw) || reach.ordered(i, j) {
+                    continue;
+                }
+                let kind = if iw && jw { HazardKind::WriteWrite } else { HazardKind::ReadWrite };
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                found.push(Hazard { kind, steps: (StepId(a), StepId(b)), matrix });
+            }
+        }
+    }
+    found.sort_by_key(|h| (h.steps, h.matrix));
+    found.dedup();
+    found
 }
 
 /// The §3.2 analysis: classify every OpenCL-placed stencil output.
@@ -490,6 +617,109 @@ mod tests {
         cfg.set_tunable("t.gpu_ratio", Tunable::new(6, 0, 8));
         let p = placement_from_config(&cfg, "t", 1000, &desktop, &stencil_rule, 100);
         assert!(matches!(p, Placement::Split { gpu_eighths: 6, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dependency")]
+    fn duplicate_dependency_panics() {
+        let (a, b, c) = ids();
+        let mut p = PlanBuilder::new();
+        let s1 = p.stencil(stencil_step(a, b, CPU), &[]);
+        p.stencil(stencil_step(b, c, CPU), &[s1, s1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn self_referencing_dependency_panics() {
+        let (a, b, _) = ids();
+        let mut p = PlanBuilder::new();
+        // The id a step *would* get, passed as its own dependency.
+        p.stencil(stencil_step(a, b, CPU), &[StepId(0)]);
+    }
+
+    #[test]
+    fn step_read_write_sets() {
+        let (a, b, _) = ids();
+        let mut p = PlanBuilder::new();
+        p.stencil(stencil_step(a, b, CPU), &[]);
+        p.native(
+            NativeStep {
+                label: "n".into(),
+                reads: vec![b],
+                writes: vec![a],
+                run: Box::new(|_, _| Charge::Secs(0.0)),
+            },
+            &[],
+        );
+        let plan = p.build();
+        assert_eq!(plan.steps()[0].reads(), &[a]);
+        assert_eq!(plan.steps()[0].writes(), &[b]);
+        assert_eq!(plan.steps()[1].reads(), &[b]);
+        assert_eq!(plan.steps()[1].writes(), &[a]);
+        assert_eq!(plan.steps()[0].describe(), "r");
+        assert_eq!(plan.steps()[1].describe(), "n");
+    }
+
+    #[test]
+    fn ordered_plan_has_no_hazards() {
+        let (a, b, c) = ids();
+        let mut p = PlanBuilder::new();
+        let s1 = p.stencil(stencil_step(a, b, GPU), &[]);
+        p.stencil(stencil_step(b, c, CPU), &[s1]);
+        assert!(hazards(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn unordered_writers_are_a_ww_hazard() {
+        let (a, b, _) = ids();
+        let mut p = PlanBuilder::new();
+        let _s1 = p.stencil(stencil_step(a, b, CPU), &[]);
+        let _s2 = p.stencil(stencil_step(a, b, CPU), &[]);
+        let hs = hazards(&p.build());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].kind, HazardKind::WriteWrite);
+        assert_eq!(hs[0].steps, (StepId(0), StepId(1)));
+        assert_eq!(hs[0].matrix, b);
+    }
+
+    #[test]
+    fn unordered_reader_and_writer_are_a_rw_hazard() {
+        let (a, b, c) = ids();
+        let mut p = PlanBuilder::new();
+        let _producer = p.stencil(stencil_step(a, b, CPU), &[]);
+        // Reads b without depending on its producer.
+        p.stencil(stencil_step(b, c, CPU), &[]);
+        let hs = hazards(&p.build());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].kind, HazardKind::ReadWrite);
+        assert_eq!(hs[0].matrix, b);
+    }
+
+    #[test]
+    fn transitive_ordering_suppresses_hazard() {
+        let (a, b, c) = ids();
+        let mut p = PlanBuilder::new();
+        let s1 = p.stencil(stencil_step(a, b, CPU), &[]);
+        let s2 = p.stencil(stencil_step(b, c, CPU), &[s1]);
+        // Writes b again, ordered only transitively through s2.
+        p.stencil(stencil_step(c, b, CPU), &[s2]);
+        assert!(hazards(&p.build()).is_empty());
+    }
+
+    #[test]
+    fn in_place_native_step_is_not_a_self_hazard() {
+        let (a, _, _) = ids();
+        let mut p = PlanBuilder::new();
+        p.native(
+            NativeStep {
+                label: "inplace".into(),
+                reads: vec![a],
+                writes: vec![a],
+                run: Box::new(|_, _| Charge::Secs(0.0)),
+            },
+            &[],
+        );
+        assert!(hazards(&p.build()).is_empty());
     }
 
     #[test]

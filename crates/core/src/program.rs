@@ -26,6 +26,12 @@ pub struct ChoiceSite {
     pub opencl: bool,
     /// Whether the scratchpad variant was synthesized (a second kernel).
     pub local_memory_variant: bool,
+    /// Whether the site's lowering can actually split work fractionally
+    /// between CPU and device (§4.3). Sites that lower to fixed whole-device
+    /// kernels (e.g. bitonic sorting networks) set this `false` so no dead
+    /// `*.gpu_ratio` tunable inflates the search space — the static verifier
+    /// flags the mismatch either way.
+    pub fractional: bool,
 }
 
 /// Program-level metadata consumed by the autotuner and the reports.
@@ -73,10 +79,12 @@ impl Program {
                     &format!("{}.local_size", site.name),
                     Tunable::new(128.min(max_wg), 1, max_wg),
                 );
-                cfg.set_tunable(
-                    &format!("{}.gpu_ratio", site.name),
-                    Tunable::new(RATIO_DENOMINATOR, 0, RATIO_DENOMINATOR),
-                );
+                if site.fractional {
+                    cfg.set_tunable(
+                        &format!("{}.gpu_ratio", site.name),
+                        Tunable::new(RATIO_DENOMINATOR, 0, RATIO_DENOMINATOR),
+                    );
+                }
             }
         }
         cfg.set_tunable("sequential_cutoff", Tunable::new(64, 1, 1 << 20));
@@ -291,12 +299,14 @@ mod tests {
             num_algs: 1,
             opencl: true,
             local_memory_variant: true,
+            fractional: true,
         });
         p.add_site(ChoiceSite {
             name: "helper".into(),
             num_algs: 2,
             opencl: false,
             local_memory_variant: false,
+            fractional: false,
         });
         assert_eq!(p.generated_kernels(), 2);
         let desktop = MachineProfile::desktop();
@@ -316,6 +326,7 @@ mod tests {
             num_algs: 1,
             opencl: true,
             local_memory_variant: false,
+            fractional: true,
         });
         p.add_tunable("accuracy_rank", 8, 1, 64);
         let cfg = p.default_config(&MachineProfile::desktop());

@@ -1,0 +1,158 @@
+//! Compact DAG reachability over dependency lists.
+//!
+//! The static verifier (`petal-analysis`) and the plan hazard check in
+//! `petal-core` both need the same primitive the engine's dependency
+//! machinery implies but never materializes: *is there an ordering path
+//! from node `a` to node `b`?* [`Reachability`] answers that in O(1) after
+//! an O(V·E/64) bitset transitive closure, which is cheap for the plan
+//! sizes the executor sees (recursion lives *inside* native tasks, so
+//! schedule DAGs stay small even for the recursive benchmarks).
+//!
+//! Nodes are `0..n` and every edge must point to a strictly smaller index
+//! (the invariant `PlanBuilder` and `Engine::add_dependency` both enforce:
+//! dependencies reference already-created tasks), which makes the closure a
+//! single forward sweep with no cycle handling.
+
+/// Transitive-closure reachability over a DAG given as per-node dependency
+/// (predecessor) lists.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// `words` per row: row `i` is the bitset of nodes `i` can reach
+    /// (its transitive dependencies), excluding `i` itself.
+    rows: Vec<u64>,
+    words: usize,
+    n: usize,
+}
+
+impl Reachability {
+    /// Build the closure from per-node dependency lists. `deps(i)` must
+    /// yield only indices `< i` (creation order), which every petal DAG
+    /// builder guarantees.
+    ///
+    /// # Panics
+    /// Panics if a dependency index is `>=` its node's index (a forward or
+    /// self edge — those cannot occur in a creation-ordered DAG).
+    #[must_use]
+    pub fn from_deps<F, I>(n: usize, mut deps: F) -> Self
+    where
+        F: FnMut(usize) -> I,
+        I: IntoIterator<Item = usize>,
+    {
+        let words = n.div_ceil(64).max(1);
+        let mut rows = vec![0u64; n * words];
+        for i in 0..n {
+            for d in deps(i) {
+                assert!(d < i, "dependency {d} of node {i} is not an earlier node");
+                rows[i * words + d / 64] |= 1 << (d % 64);
+                // Union the dependency's own closure row into ours. The two
+                // rows never overlap as borrows (d < i), split_at_mut keeps
+                // the borrow checker happy without unsafe.
+                let (lo, hi) = rows.split_at_mut(i * words);
+                let src = &lo[d * words..d * words + words];
+                let dst = &mut hi[..words];
+                for (dw, sw) in dst.iter_mut().zip(src) {
+                    *dw |= *sw;
+                }
+            }
+        }
+        Reachability { rows, words, n }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when `from` transitively depends on `to` (an ordering path
+    /// exists forcing `to` to complete before `from` starts).
+    ///
+    /// # Panics
+    /// Panics when either index is out of range.
+    #[must_use]
+    pub fn depends_on(&self, from: usize, to: usize) -> bool {
+        assert!(from < self.n && to < self.n, "node index out of range");
+        self.rows[from * self.words + to / 64] & (1 << (to % 64)) != 0
+    }
+
+    /// True when the two nodes are ordered either way; `false` means their
+    /// relative execution order is up to the scheduler.
+    #[must_use]
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        a == b || self.depends_on(a, b) || self.depends_on(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 3 depends on 1 and 2, both depend on 0.
+    fn diamond() -> Reachability {
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        Reachability::from_deps(4, |i| deps[i].clone())
+    }
+
+    #[test]
+    fn direct_and_transitive_edges_reach() {
+        let r = diamond();
+        assert!(r.depends_on(1, 0));
+        assert!(r.depends_on(3, 1));
+        assert!(r.depends_on(3, 0), "transitive through either branch");
+    }
+
+    #[test]
+    fn siblings_are_unordered() {
+        let r = diamond();
+        assert!(!r.depends_on(1, 2));
+        assert!(!r.depends_on(2, 1));
+        assert!(!r.ordered(1, 2));
+        assert!(r.ordered(3, 0));
+        assert!(r.ordered(2, 2), "a node is ordered with itself");
+    }
+
+    #[test]
+    fn dependencies_never_point_forward() {
+        let r = diamond();
+        assert!(!r.depends_on(0, 3));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = Reachability::from_deps(0, |_| Vec::new());
+        assert!(r.is_empty());
+        let r = Reachability::from_deps(1, |_| Vec::new());
+        assert_eq!(r.len(), 1);
+        assert!(r.ordered(0, 0));
+    }
+
+    #[test]
+    fn wide_graph_crosses_word_boundaries() {
+        // 200 nodes: a chain 0..100, plus 100 independent leaves that all
+        // depend on node 99.
+        let r = Reachability::from_deps(200, |i| {
+            if i == 0 {
+                vec![]
+            } else if i < 100 {
+                vec![i - 1]
+            } else {
+                vec![99]
+            }
+        });
+        assert!(r.depends_on(99, 0));
+        assert!(r.depends_on(150, 0), "leaves reach the whole chain");
+        assert!(!r.ordered(150, 151), "leaves are mutually unordered");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier node")]
+    fn forward_edge_panics() {
+        let _ = Reachability::from_deps(2, |i| if i == 0 { vec![1] } else { vec![] });
+    }
+}
