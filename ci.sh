@@ -33,4 +33,28 @@ cargo run --release --offline -p petal_bench --bin bench_baseline -- --check-vir
 echo "== bench_hotpath --check (scheduler speedup regression floor, smoke reps)"
 PETAL_SMOKE=1 cargo run --release --offline -p petal_bench --bin bench_hotpath -- --check
 
+echo "== farmd loopback smoke (dispatcher + 2 workers on a unix socket, one injected kill)"
+# fig2 (smoke sweep) and fig7 (Black-Scholes) run against a live
+# petal-farmd pool via PETAL_FARMD; worker ci-a kills itself mid-run
+# (--fail-after) so the re-queue path is exercised in every CI run. The
+# figures' own asserts prove results match the in-process farm.
+FARMD_SOCK="$(mktemp -u /tmp/petal-farmd-ci.XXXXXX.sock)"
+./target/release/petal-farmd --listen "unix:$FARMD_SOCK" &
+FARMD_PID=$!
+./target/release/petal-shard --connect "unix:$FARMD_SOCK" --name ci-a --fail-after 60 &
+./target/release/petal-shard --connect "unix:$FARMD_SOCK" --name ci-b &
+WORKER_B_PID=$!
+trap 'kill "$FARMD_PID" "$WORKER_B_PID" 2>/dev/null || true; rm -f "$FARMD_SOCK"' EXIT
+PETAL_SMOKE=1 PETAL_FARMD="unix:$FARMD_SOCK" ./target/release/fig2_convolution >/dev/null
+PETAL_FARMD="unix:$FARMD_SOCK" ./target/release/fig7_migration scholes >/dev/null
+kill "$FARMD_PID" 2>/dev/null || true
+wait "$FARMD_PID" 2>/dev/null || true
+
+echo "== farmd soak (PETAL_SOAK=1 opt-in: thousands of jobs through a churning mixed pool)"
+if [[ "${PETAL_SOAK:-0}" == "1" ]]; then
+  PETAL_SOAK=1 cargo test -q --offline -p petal_shard --test farmd_soak
+else
+  echo "   skipped (set PETAL_SOAK=1 to run)"
+fi
+
 echo "CI green"

@@ -13,6 +13,10 @@ use petal_tuner::{Autotuner, TunerSettings};
 
 fn main() {
     let n = if full_flag() { 1024 } else { 256 };
+    // PETAL_SMOKE=1 samples the sweep (one machine, three widths) so the
+    // CI farmd loopback smoke finishes in seconds; the paper claim is
+    // still asserted at every sampled point.
+    let smoke = petal_apps::workload::smoke_mode();
     println!("Figure 2: SeparableConvolution mappings, input {n}x{n} (virtual seconds)\n");
     let widths = [22, 12, 12, 12, 12, 12];
     let settings = TunerSettings {
@@ -26,13 +30,20 @@ fn main() {
         kick_after: 1,
         kick_strength: 3,
     };
-    for machine in MachineProfile::all() {
+    let mut machines = MachineProfile::all();
+    if smoke {
+        machines.truncate(1);
+    }
+    for machine in machines {
         println!("--- {} ---", machine.codename);
         let mut header = vec!["Kernel width".to_owned()];
         header.extend(ConvMapping::all().iter().map(|m| m.label().to_owned()));
         header.push("Autotuner".to_owned());
         println!("{}", row(&header, &widths));
         for k in (3..=17).step_by(2) {
+            if smoke && !matches!(k, 3 | 9 | 17) {
+                continue;
+            }
             let bench = SeparableConvolution::new(n, k);
             let mut cells = vec![k.to_string()];
             let mut best_pinned = f64::INFINITY;

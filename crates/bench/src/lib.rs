@@ -51,6 +51,10 @@ pub struct HarnessArgs {
     /// `--shards N` / `--shards=N` (or `PETAL_SHARDS=N`): evaluate on
     /// `N` `petal-shard` worker processes; 0 stays in-process.
     pub shards: usize,
+    /// `--farmd <endpoint>` / `--farmd=<endpoint>` (or
+    /// `PETAL_FARMD=<endpoint>`): evaluate against the `petal-farmd`
+    /// dispatcher at `host:port` or `unix:<path>`. Wins over `--shards`.
+    pub farmd: Option<String>,
     /// Everything else, in order (e.g. `fig7_migration`'s name filter).
     pub positionals: Vec<String>,
 }
@@ -61,28 +65,37 @@ impl HarnessArgs {
     ///
     /// # Errors
     /// A human-readable message for a missing or non-integer `--shards`
-    /// value.
+    /// value, or a missing `--farmd` value.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        Self::parse_with_env(args, std::env::var("PETAL_SHARDS").ok().as_deref())
+        Self::parse_with_env(
+            args,
+            std::env::var("PETAL_SHARDS").ok().as_deref(),
+            std::env::var("PETAL_FARMD").ok().as_deref(),
+        )
     }
 
-    /// [`Self::parse`] with the `PETAL_SHARDS` value passed explicitly —
-    /// the actual parser, and what tests call so they never have to
-    /// mutate the process environment (a data race under libtest's
-    /// concurrent test threads).
+    /// [`Self::parse`] with the `PETAL_SHARDS` / `PETAL_FARMD` values
+    /// passed explicitly — the actual parser, and what tests call so they
+    /// never have to mutate the process environment (a data race under
+    /// libtest's concurrent test threads).
     fn parse_with_env<I: IntoIterator<Item = String>>(
         args: I,
         env_shards: Option<&str>,
+        env_farmd: Option<&str>,
     ) -> Result<Self, String> {
         let parse_shards = |raw: &str| {
             raw.parse().map_err(|_| {
                 format!("bad shard count `{raw}`; expected `--shards <N>` (or PETAL_SHARDS=<N>)")
             })
         };
-        let mut out = HarnessArgs { full: false, shards: 0, positionals: Vec::new() };
+        // `--farmd none` is the escape hatch back to local evaluation
+        // when PETAL_FARMD is exported in the environment.
+        let parse_farmd = |raw: &str| if raw == "none" { None } else { Some(raw.to_owned()) };
+        let mut out = HarnessArgs { full: false, shards: 0, farmd: None, positionals: Vec::new() };
         // An explicit `--shards 0` must win over PETAL_SHARDS: the flag
         // is the documented escape hatch back to in-process evaluation.
         let mut shards_from_cli = false;
+        let mut farmd_from_cli = false;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -96,12 +109,26 @@ impl HarnessArgs {
                     out.shards = parse_shards(&a["--shards=".len()..])?;
                     shards_from_cli = true;
                 }
+                "--farmd" => {
+                    let raw = args.next().ok_or("--farmd is missing its value")?;
+                    out.farmd = parse_farmd(&raw);
+                    farmd_from_cli = true;
+                }
+                a if a.starts_with("--farmd=") => {
+                    out.farmd = parse_farmd(&a["--farmd=".len()..]);
+                    farmd_from_cli = true;
+                }
                 _ => out.positionals.push(a),
             }
         }
         if !shards_from_cli {
             if let Some(raw) = env_shards {
                 out.shards = parse_shards(raw)?;
+            }
+        }
+        if !farmd_from_cli {
+            if let Some(raw) = env_farmd {
+                out.farmd = parse_farmd(raw);
             }
         }
         Ok(out)
@@ -141,6 +168,16 @@ pub fn shards_flag() -> usize {
     HarnessArgs::from_env().shards
 }
 
+/// `--farmd <endpoint>` flag (or `PETAL_FARMD=<endpoint>`) shared by the
+/// harness binaries: evaluate against the `petal-farmd` dispatcher at
+/// `host:port` or `unix:<path>` instead of local workers. Results are
+/// bit-identical to every local mode; `--farmd none` forces local
+/// evaluation when the environment variable is exported.
+#[must_use]
+pub fn farmd_flag() -> Option<String> {
+    HarnessArgs::from_env().farmd
+}
+
 /// Positional (non-flag) arguments, for binaries like `fig7_migration`
 /// that take a benchmark-name filter.
 #[must_use]
@@ -148,10 +185,14 @@ pub fn positional_args() -> Vec<String> {
     HarnessArgs::from_env().positionals
 }
 
-/// The farm settings the harness binaries run with: `--shards N` workers
+/// The farm settings the harness binaries run with: a remote dispatcher
+/// when `--farmd`/`PETAL_FARMD` names one, `--shards N` worker processes
 /// when sharding was requested, otherwise one thread per hardware thread.
 #[must_use]
 pub fn harness_farm_settings() -> petal_farm::FarmSettings {
+    if let Some(endpoint) = farmd_flag() {
+        return petal_farm::FarmSettings::remote(endpoint);
+    }
     match shards_flag() {
         0 => petal_farm::FarmSettings::host_parallel(),
         n => petal_farm::FarmSettings::sharded(n),
@@ -250,10 +291,18 @@ mod tests {
     #[test]
     fn harness_args_parse_flags_and_positionals() {
         let a = parse(&["scholes", "--shards", "4", "--full"]).expect("parses");
-        assert_eq!(a, HarnessArgs { full: true, shards: 4, positionals: vec!["scholes".into()] });
+        assert_eq!(
+            a,
+            HarnessArgs { full: true, shards: 4, farmd: None, positionals: vec!["scholes".into()] }
+        );
         let a = parse(&["--shards=2"]).expect("parses");
         assert_eq!(a.shards, 2);
         assert!(a.positionals.is_empty(), "--shards=N is a flag, not a filter");
+        let a = parse(&["--farmd", "127.0.0.1:7777"]).expect("parses");
+        assert_eq!(a.farmd.as_deref(), Some("127.0.0.1:7777"));
+        let a = parse(&["--farmd=unix:/tmp/farm.sock", "scholes"]).expect("parses");
+        assert_eq!(a.farmd.as_deref(), Some("unix:/tmp/farm.sock"));
+        assert_eq!(a.positionals, vec!["scholes".to_owned()]);
     }
 
     #[test]
@@ -261,18 +310,33 @@ mod tests {
         assert!(parse(&["--shards"]).is_err(), "missing value");
         assert!(parse(&["--shards", "bogus"]).is_err(), "non-integer value");
         assert!(parse(&["--shards=x"]).is_err(), "non-integer inline value");
+        assert!(parse(&["--farmd"]).is_err(), "missing endpoint value");
     }
 
-    fn parse_env(args: &[&str], env: Option<&str>) -> Result<HarnessArgs, String> {
-        HarnessArgs::parse_with_env(args.iter().map(|s| (*s).to_owned()), env)
+    fn parse_env(
+        args: &[&str],
+        shards: Option<&str>,
+        farmd: Option<&str>,
+    ) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_with_env(args.iter().map(|s| (*s).to_owned()), shards, farmd)
     }
 
     #[test]
     fn explicit_shards_zero_beats_the_environment() {
-        let a = parse_env(&["--shards", "0"], Some("4")).expect("parses");
+        let a = parse_env(&["--shards", "0"], Some("4"), None).expect("parses");
         assert_eq!(a.shards, 0, "CLI escape hatch wins");
-        let a = parse_env(&[], Some("4")).expect("parses");
+        let a = parse_env(&[], Some("4"), None).expect("parses");
         assert_eq!(a.shards, 4, "env applies without the flag");
-        assert!(parse_env(&[], Some("bogus")).is_err(), "malformed env is loud too");
+        assert!(parse_env(&[], Some("bogus"), None).is_err(), "malformed env is loud too");
+    }
+
+    #[test]
+    fn explicit_farmd_none_beats_the_environment() {
+        let a = parse_env(&["--farmd", "none"], None, Some("127.0.0.1:7777")).expect("parses");
+        assert_eq!(a.farmd, None, "CLI escape hatch wins");
+        let a = parse_env(&[], None, Some("127.0.0.1:7777")).expect("parses");
+        assert_eq!(a.farmd.as_deref(), Some("127.0.0.1:7777"), "env applies");
+        let a = parse_env(&["--farmd", "unix:/s"], None, Some("127.0.0.1:1")).expect("parses");
+        assert_eq!(a.farmd.as_deref(), Some("unix:/s"), "flag beats env");
     }
 }

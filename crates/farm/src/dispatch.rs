@@ -1,0 +1,44 @@
+//! The dispatch seam between [`crate::EvalFarm`] and whatever actually
+//! ships jobs out of the process.
+//!
+//! The farm's determinism contract lives entirely *above* this trait:
+//! raw [`JobOutcome`]s come back keyed by submission index, and the
+//! parent's submission-order merge (compile re-pricing included) turns
+//! them into results — so any correct `Dispatch` implementation yields
+//! bit-identical tuning runs. Two implementations exist today:
+//! `ShardPool` (local `petal-shard` child processes over
+//! pipes) and `RemotePool` (a `petal-farmd` dispatcher
+//! over TCP or unix sockets, fanning out to an elastic worker fleet).
+
+use crate::shard::ShardError;
+use crate::{EvalJob, JobOutcome};
+use petal_gpu::profile::MachineProfile;
+
+/// A job-dispatch backend: owns a pool of workers initialized for one
+/// `(benchmark, machine)` session and evaluates batches against it.
+pub trait Dispatch: std::fmt::Debug {
+    /// Whether this pool was initialized for `(bench_spec, machine)`; a
+    /// mismatch makes [`crate::EvalFarm`] tear the pool down and build a
+    /// fresh one.
+    fn matches(&self, bench_spec: &str, machine: &MachineProfile) -> bool;
+
+    /// Evaluate a batch, returning raw outcomes in submission order
+    /// (`result[i]` answers `jobs[i]`). `effective` is the worker count
+    /// the round-robin accounting above assumes; backends with their own
+    /// scheduling (farmd) may ignore it.
+    ///
+    /// Implementations recover from individual worker loss themselves
+    /// when survivors remain (jobs are pure, so re-running one anywhere
+    /// is sound).
+    ///
+    /// # Errors
+    /// Only when the batch cannot be completed at all — every worker is
+    /// gone or the transport died. The error names the last failed
+    /// worker and the jobs still outstanding so the caller can respawn
+    /// and retry.
+    fn evaluate(
+        &mut self,
+        jobs: &[EvalJob],
+        effective: usize,
+    ) -> Result<Vec<JobOutcome>, ShardError>;
+}

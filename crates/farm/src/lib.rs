@@ -42,14 +42,30 @@
 //! pipes using the hand-rolled [`wire`] format. Workers return raw,
 //! un-priced outcomes; compile re-pricing still happens in the parent's
 //! submission-order merge, so `shards ∈ {0, 1, 2, 4, …}` all produce the
-//! byte-for-byte identical results the in-process farm produces. The wire
-//! format is the contract any future cross-machine transport implements.
+//! byte-for-byte identical results the in-process farm produces.
+//!
+//! ## Remote pools
+//!
+//! The same wire format travels over sockets: point
+//! [`FarmSettings::endpoint`] (or `PETAL_FARMD`) at a `petal-farmd`
+//! dispatcher and the farm dispatches batches through a [`remote`] client
+//! session instead of local pipes. The dispatcher fans jobs out to an
+//! elastic fleet of registered workers, health-checks them by heartbeat,
+//! and re-queues a lost worker's jobs to survivors — none of which the
+//! farm can observe, because raw outcomes still come back keyed by
+//! submission index and all pricing happens in the parent's merge. Every
+//! backend hangs off the [`dispatch::Dispatch`] seam, so in-process,
+//! sharded and remote runs produce byte-for-byte identical results.
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
+pub mod net;
+pub mod remote;
 pub mod shard;
 pub mod wire;
 
+use dispatch::Dispatch;
 use petal_apps::{Benchmark, Instance};
 use petal_core::executor::Executor;
 use petal_core::Config;
@@ -75,13 +91,19 @@ pub struct FarmSettings {
     /// via the `PETAL_SHARD_BIN` environment variable, then a `petal-shard`
     /// next to the current executable (see [`shard::resolve_shard_bin`]).
     pub shard_bin: Option<PathBuf>,
+    /// Endpoint of a `petal-farmd` dispatcher (`host:port` or
+    /// `unix:<path>`). When set it wins over `shards`/`threads`:
+    /// evaluation batches are shipped to the dispatcher's worker fleet
+    /// over a [`remote::RemotePool`] session. Results are still identical
+    /// to every local mode (the farm's determinism contract).
+    pub endpoint: Option<String>,
 }
 
 impl FarmSettings {
     /// Evaluate candidates on the calling thread (the default).
     #[must_use]
     pub fn sequential() -> Self {
-        FarmSettings { threads: 1, shards: 0, shard_bin: None }
+        FarmSettings { threads: 1, shards: 0, shard_bin: None, endpoint: None }
     }
 
     /// One worker per available hardware thread.
@@ -97,6 +119,13 @@ impl FarmSettings {
     #[must_use]
     pub fn sharded(n: usize) -> Self {
         FarmSettings { shards: n, ..Self::sequential() }
+    }
+
+    /// Evaluate candidates against the `petal-farmd` dispatcher at
+    /// `endpoint` (`host:port` or `unix:<path>`).
+    #[must_use]
+    pub fn remote(endpoint: impl Into<String>) -> Self {
+        FarmSettings { endpoint: Some(endpoint.into()), ..Self::sequential() }
     }
 
     /// The worker count this setting resolves to on the current host.
@@ -199,9 +228,10 @@ pub struct EvalFarm {
     threads: usize,
     shards: usize,
     shard_bin: Option<PathBuf>,
-    /// Lazily spawned worker-process pool (shard mode only), kept alive
+    endpoint: Option<String>,
+    /// Lazily built dispatch backend (shard or remote mode), kept alive
     /// across batches of one tuning run.
-    pool: Option<ShardPool>,
+    pool: Option<Box<dyn Dispatch>>,
     model_process_restarts: bool,
     ir_cache_enabled: bool,
     /// Kernels compiled by the modeled long-lived tuning process
@@ -222,11 +252,18 @@ impl EvalFarm {
     pub fn new(settings: &FarmSettings, model_process_restarts: bool) -> Self {
         let threads = settings.resolved_threads().max(1);
         let shards = settings.shards;
-        let workers = if shards > 0 { shards } else { threads };
+        let workers = if settings.endpoint.is_some() {
+            1
+        } else if shards > 0 {
+            shards
+        } else {
+            threads
+        };
         EvalFarm {
             threads,
             shards,
             shard_bin: settings.shard_bin.clone(),
+            endpoint: settings.endpoint.clone(),
             pool: None,
             model_process_restarts,
             ir_cache_enabled: true,
@@ -256,9 +293,14 @@ impl EvalFarm {
     }
 
     /// Workers of whichever kind this farm uses (shard processes when
-    /// sharded, threads otherwise).
+    /// sharded, threads otherwise). A remote pool counts as **one**
+    /// worker: the dispatcher's fleet size is elastic and invisible, so
+    /// the deterministic accounting treats the whole farm as a single
+    /// submission-ordered backend.
     fn workers(&self) -> usize {
-        if self.shards > 0 {
+        if self.endpoint.is_some() {
+            1
+        } else if self.shards > 0 {
             self.shards
         } else {
             self.threads
@@ -325,8 +367,8 @@ impl EvalFarm {
         jobs: &[EvalJob],
     ) -> Vec<EvalResult> {
         let effective = self.workers().min(jobs.len()).max(1);
-        let raw: Vec<JobOutcome> = if self.shards > 0 {
-            self.evaluate_sharded(bench, machine, jobs, effective)
+        let raw: Vec<JobOutcome> = if self.endpoint.is_some() || self.shards > 0 {
+            self.evaluate_dispatched(bench, machine, jobs, effective)
         } else if effective == 1 {
             jobs.iter().map(|j| evaluate_job(bench, machine, j)).collect()
         } else {
@@ -379,9 +421,34 @@ impl EvalFarm {
             .collect()
     }
 
-    /// Dispatch one batch to the `petal-shard` worker pool, (re)spawning
-    /// it when the `(benchmark, machine)` session changed.
-    fn evaluate_sharded(
+    /// Build the dispatch backend for the current settings and
+    /// `(benchmark, machine)` session: a [`remote::RemotePool`] when an
+    /// endpoint is configured, a [`ShardPool`] otherwise.
+    fn build_pool(
+        &self,
+        spec: &str,
+        machine: &MachineProfile,
+    ) -> Result<Box<dyn Dispatch>, shard::ShardError> {
+        if let Some(endpoint) = &self.endpoint {
+            Ok(Box::new(remote::RemotePool::connect(endpoint, spec, machine)?))
+        } else {
+            let bin = shard::resolve_shard_bin(self.shard_bin.as_deref())?;
+            Ok(Box::new(ShardPool::spawn(&bin, self.shards, spec, machine)?))
+        }
+    }
+
+    /// Dispatch one batch to the out-of-process backend (shard pool or
+    /// farmd session), (re)building it when the `(benchmark, machine)`
+    /// session changed.
+    ///
+    /// Backends recover from partial worker loss internally; an `Err`
+    /// here means the whole backend is gone (every shard dead, or the
+    /// dispatcher connection lost). Because jobs are pure and all pricing
+    /// happens in the caller's submission-order merge, the recovery is
+    /// simply: build a fresh backend and re-run the *whole* batch once —
+    /// bit-identical to a run that never failed. A second total loss is
+    /// a real outage and panics with the structured error.
+    fn evaluate_dispatched(
         &mut self,
         bench: &dyn Benchmark,
         machine: &MachineProfile,
@@ -390,19 +457,23 @@ impl EvalFarm {
     ) -> Vec<JobOutcome> {
         let spec = bench.spec();
         if !self.pool.as_ref().is_some_and(|p| p.matches(&spec, machine)) {
-            let bin = shard::resolve_shard_bin(self.shard_bin.as_deref())
-                .unwrap_or_else(|e| panic!("{e}"));
-            self.pool = None; // drop (and reap) any stale pool first
-            self.pool = Some(
-                ShardPool::spawn(&bin, self.shards, &spec, machine)
-                    .unwrap_or_else(|e| panic!("{e}")),
-            );
+            self.pool = None; // drop (and reap/close) any stale backend first
+            self.pool = Some(self.build_pool(&spec, machine).unwrap_or_else(|e| panic!("{e}")));
         }
-        self.pool
-            .as_mut()
-            .expect("pool spawned above")
-            .evaluate(jobs, effective)
-            .unwrap_or_else(|e| panic!("{e}"))
+        let first = self.pool.as_mut().expect("pool built above").evaluate(jobs, effective);
+        match first {
+            Ok(outcomes) => outcomes,
+            Err(lost) => {
+                eprintln!("petal-farm: evaluation backend lost ({lost}); respawning and retrying the batch");
+                self.pool = None;
+                self.pool = Some(self.build_pool(&spec, machine).unwrap_or_else(|e| panic!("{e}")));
+                self.pool
+                    .as_mut()
+                    .expect("pool rebuilt above")
+                    .evaluate(jobs, effective)
+                    .unwrap_or_else(|e| panic!("evaluation backend lost twice (giving up): {e}"))
+            }
+        }
     }
 
     /// Price one charged compile against the shared model, updating it.

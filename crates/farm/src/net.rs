@@ -1,0 +1,301 @@
+//! Socket transport shared by the farmd dispatcher, the remote worker
+//! mode of `petal-shard`, and the farm's remote-pool client.
+//!
+//! The [`crate::wire`] format is transport-agnostic (line-delimited
+//! records); this module supplies the two stream transports the tuning
+//! farm serves: **TCP** (`host:port`) for cross-machine pools and
+//! **unix-domain sockets** (`unix:<path>`) for same-host pools with no
+//! network stack in the loop. [`Endpoint`] is the parsed form of the one
+//! string an operator configures (`--listen`, `--connect`,
+//! `PETAL_FARMD`); [`FarmListener`] and [`FarmStream`] erase the
+//! transport so everything above this module is written once.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A parsed farm endpoint: where a dispatcher listens and workers/clients
+/// connect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address in `host:port` form.
+    Tcp(String),
+    /// A unix-domain socket path (`unix:<path>` on the command line).
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string: `unix:<path>` selects a unix-domain
+    /// socket, anything containing a `:` is a TCP `host:port`.
+    ///
+    /// # Errors
+    /// A human-readable message when the string fits neither form.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint is missing its path (`unix:/some/path`)".to_owned());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if s.contains(':') {
+            return Ok(Endpoint::Tcp(s.to_owned()));
+        }
+        Err(format!("bad endpoint `{s}`; expected `host:port` or `unix:<path>`"))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A listening socket on either transport.
+///
+/// Accept is non-blocking ([`Self::poll_accept`]) so a server loop can
+/// interleave accepting with a stop flag instead of blocking forever in
+/// `accept(2)`.
+#[derive(Debug)]
+pub enum FarmListener {
+    /// Listening TCP socket.
+    Tcp(TcpListener),
+    /// Listening unix-domain socket (the path is unlinked on drop).
+    Unix(UnixListener, PathBuf),
+}
+
+impl FarmListener {
+    /// Bind `endpoint`. A TCP port of `0` binds an ephemeral port
+    /// (recover the real one with [`Self::local_endpoint`]); a stale
+    /// unix-socket file at the path is removed first.
+    ///
+    /// # Errors
+    /// The underlying `bind(2)` failure.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<FarmListener> {
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => FarmListener::Tcp(TcpListener::bind(addr.as_str())?),
+            Endpoint::Unix(path) => {
+                // A previous dispatcher that died without cleanup leaves
+                // the socket file behind; binding over it is the
+                // operator-friendly behavior.
+                let _ = std::fs::remove_file(path);
+                FarmListener::Unix(UnixListener::bind(path)?, path.clone())
+            }
+        };
+        match &listener {
+            FarmListener::Tcp(l) => l.set_nonblocking(true)?,
+            FarmListener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        Ok(listener)
+    }
+
+    /// The bound endpoint, with any ephemeral TCP port resolved.
+    ///
+    /// # Errors
+    /// When the local address cannot be read back from the socket.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            FarmListener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            FarmListener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+        }
+    }
+
+    /// Accept one pending connection, or `None` when nothing is waiting.
+    /// The accepted stream is switched back to blocking mode.
+    ///
+    /// # Errors
+    /// Accept failures other than `WouldBlock`.
+    pub fn poll_accept(&self) -> io::Result<Option<FarmStream>> {
+        let stream = match self {
+            FarmListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => FarmStream::Tcp(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            FarmListener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => FarmStream::Unix(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        stream.set_nonblocking(false)?;
+        Ok(Some(stream))
+    }
+}
+
+impl Drop for FarmListener {
+    fn drop(&mut self) {
+        if let FarmListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream on either transport.
+#[derive(Debug)]
+pub enum FarmStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl FarmStream {
+    /// Connect to `endpoint` once.
+    ///
+    /// # Errors
+    /// The underlying `connect(2)` failure.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<FarmStream> {
+        Ok(match endpoint {
+            Endpoint::Tcp(addr) => FarmStream::Tcp(TcpStream::connect(addr.as_str())?),
+            Endpoint::Unix(path) => FarmStream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connect to `endpoint`, retrying until `patience` elapses — covers
+    /// the worker-starts-before-dispatcher race in scripted bring-up.
+    ///
+    /// # Errors
+    /// The last connect failure once patience runs out.
+    pub fn connect_retry(endpoint: &Endpoint, patience: Duration) -> io::Result<FarmStream> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match Self::connect(endpoint) {
+                Ok(s) => return Ok(s),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// An independent handle to the same connection (for split
+    /// reader/writer threads).
+    ///
+    /// # Errors
+    /// The underlying `dup(2)` failure.
+    pub fn try_clone(&self) -> io::Result<FarmStream> {
+        Ok(match self {
+            FarmStream::Tcp(s) => FarmStream::Tcp(s.try_clone()?),
+            FarmStream::Unix(s) => FarmStream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shut down both directions, unblocking any thread reading the peer.
+    pub fn shutdown(&self) {
+        match self {
+            FarmStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            FarmStream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Bound how long one read may block (`None` blocks forever).
+    ///
+    /// # Errors
+    /// The underlying `setsockopt(2)` failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            FarmStream::Tcp(s) => s.set_read_timeout(timeout),
+            FarmStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            FarmStream::Tcp(s) => s.set_nonblocking(nonblocking),
+            FarmStream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Whether an I/O error is a read-timeout expiry rather than a real
+    /// failure (the two kinds differ across platforms).
+    #[must_use]
+    pub fn is_timeout(e: &io::Error) -> bool {
+        matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    }
+}
+
+impl Read for FarmStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            FarmStream::Tcp(s) => s.read(buf),
+            FarmStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for FarmStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            FarmStream::Tcp(s) => s.write(buf),
+            FarmStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            FarmStream::Tcp(s) => s.flush(),
+            FarmStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse_and_display() {
+        assert_eq!(Endpoint::parse("127.0.0.1:7777"), Ok(Endpoint::Tcp("127.0.0.1:7777".into())));
+        assert_eq!(Endpoint::parse("unix:/tmp/x.sock"), Ok(Endpoint::Unix("/tmp/x.sock".into())));
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("nocolon").is_err());
+        assert_eq!(Endpoint::parse("unix:/tmp/x.sock").unwrap().to_string(), "unix:/tmp/x.sock");
+        assert_eq!(Endpoint::parse("[::1]:80").unwrap().to_string(), "[::1]:80");
+    }
+
+    #[test]
+    fn tcp_loopback_round_trips_bytes() {
+        let listener = FarmListener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind");
+        let ep = listener.local_endpoint().expect("addr");
+        let mut client = FarmStream::connect(&ep).expect("connect");
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().expect("accept") {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        client.write_all(b"ping\n").expect("write");
+        let mut buf = [0u8; 5];
+        server.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping\n");
+    }
+
+    #[test]
+    fn unix_socket_binds_over_stale_file_and_cleans_up() {
+        let path = std::env::temp_dir().join(format!("petal-net-test-{}.sock", std::process::id()));
+        std::fs::write(&path, b"stale").expect("plant stale file");
+        let ep = Endpoint::Unix(path.clone());
+        let listener = FarmListener::bind(&ep).expect("bind over stale file");
+        let mut client = FarmStream::connect(&ep).expect("connect");
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().expect("accept") {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        client.write_all(b"hi").expect("write");
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"hi");
+        drop(listener);
+        assert!(!path.exists(), "socket file removed on drop");
+    }
+}

@@ -1,0 +1,230 @@
+//! The remote-pool client: [`crate::EvalFarm`]'s connection to a
+//! `petal-farmd` dispatcher.
+//!
+//! A [`RemotePool`] speaks the socket flavor of the [`crate::wire`]
+//! protocol as a *client*: `HELLO` exchange (version negotiation), one
+//! `INIT` naming the `(benchmark, machine)` session, then batches of
+//! `JOB` records answered by `RESULT` records. Unlike the pipe protocol,
+//! results may arrive **in any order** — the dispatcher fans jobs out to
+//! an elastic worker fleet and relays answers as they land — so the
+//! client files each `RESULT` by its echoed index and returns the batch
+//! in submission order. That reordering is the entire client-side
+//! contribution to determinism; everything else (re-pricing, merge) is
+//! the same parent-side code every other backend uses.
+//!
+//! Worker churn is invisible here by design: the dispatcher re-queues a
+//! lost worker's jobs internally and the client just sees the results
+//! arrive. Only a dead *dispatcher* surfaces as a [`ShardError`], and
+//! [`crate::EvalFarm`] answers that by reconnecting and re-running the
+//! batch (sound because jobs are pure).
+
+use crate::dispatch::Dispatch;
+use crate::net::{Endpoint, FarmStream};
+use crate::shard::ShardError;
+use crate::wire::{negotiate, Message, WireEncoder, MIN_WIRE_VERSION, WIRE_VERSION};
+use crate::{EvalJob, JobOutcome};
+use petal_gpu::profile::MachineProfile;
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// How long [`RemotePool::connect`] keeps retrying an endpoint that is
+/// not (yet) accepting — covers tuner-before-dispatcher bring-up races.
+const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
+
+/// A connected, initialized client session against a `petal-farmd`
+/// dispatcher, usable as the farm's dispatch backend.
+pub struct RemotePool {
+    reader: BufReader<FarmStream>,
+    writer: FarmStream,
+    enc: WireEncoder,
+    line_out: String,
+    line_in: String,
+    /// Session key: the benchmark spec and machine the dispatcher was
+    /// initialized with; a mismatch forces a fresh session.
+    key: (String, MachineProfile),
+    endpoint: Endpoint,
+}
+
+impl std::fmt::Debug for RemotePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemotePool")
+            .field("endpoint", &self.endpoint)
+            .field("bench", &self.key.0)
+            .field("machine", &self.key.1.codename)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemotePool {
+    /// Connect to the dispatcher at `endpoint`, negotiate a wire version,
+    /// and open a `(bench_spec, machine)` evaluation session.
+    ///
+    /// # Errors
+    /// Connect failures (after `CONNECT_PATIENCE` of retries), version
+    /// negotiation failures, and any protocol violation in the handshake.
+    pub fn connect(
+        endpoint_str: &str,
+        bench_spec: &str,
+        machine: &MachineProfile,
+    ) -> Result<RemotePool, ShardError> {
+        let endpoint = Endpoint::parse(endpoint_str).map_err(ShardError::new)?;
+        let stream = FarmStream::connect_retry(&endpoint, CONNECT_PATIENCE)
+            .map_err(|e| ShardError::new(format!("connecting to farmd at {endpoint}: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ShardError::new(format!("cloning farmd connection at {endpoint}: {e}")))?;
+        let mut pool = RemotePool {
+            reader: BufReader::new(stream),
+            writer,
+            enc: WireEncoder::default(),
+            line_out: String::new(),
+            line_in: String::new(),
+            key: (bench_spec.to_owned(), machine.clone()),
+            endpoint,
+        };
+
+        // HELLO exchange: both sides advertise their supported range and
+        // settle on the highest common version (or fail with a version
+        // diagnostic, never a parse error).
+        pool.send(&Message::hello())?;
+        match pool.recv()? {
+            Message::Hello { min_version, max_version } => {
+                negotiate((MIN_WIRE_VERSION, WIRE_VERSION), (min_version, max_version))?;
+            }
+            Message::Goodbye { reason } => {
+                return Err(ShardError::new(format!("farmd rejected the connection: {reason}")));
+            }
+            other => {
+                return Err(ShardError::new(format!("farmd answered HELLO with {other:?}")));
+            }
+        }
+
+        // Session handshake, same as a pipe worker: INIT → READY.
+        pool.send(&Message::Init {
+            version: WIRE_VERSION,
+            bench_spec: bench_spec.to_owned(),
+            machine: Box::new(machine.clone()),
+        })?;
+        match pool.recv()? {
+            Message::Ready { version } if version == WIRE_VERSION => {}
+            Message::Ready { version } => {
+                return Err(ShardError::new(format!(
+                    "farmd opened the session at wire version {version}, \
+                     this build speaks {WIRE_VERSION}"
+                )));
+            }
+            Message::Goodbye { reason } => {
+                return Err(ShardError::new(format!("farmd refused the session: {reason}")));
+            }
+            other => {
+                return Err(ShardError::new(format!("farmd answered INIT with {other:?}")));
+            }
+        }
+        Ok(pool)
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), ShardError> {
+        self.enc.encode_into(msg, &mut self.line_out);
+        self.line_out.push('\n');
+        self.writer
+            .write_all(self.line_out.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ShardError::new(format!("writing to farmd at {}: {e}", self.endpoint)))
+    }
+
+    fn recv(&mut self) -> Result<Message, ShardError> {
+        loop {
+            self.line_in.clear();
+            let n = self.reader.read_line(&mut self.line_in).map_err(|e| {
+                ShardError::new(format!("reading from farmd at {}: {e}", self.endpoint))
+            })?;
+            if n == 0 {
+                return Err(ShardError::new(format!(
+                    "farmd at {} closed the connection",
+                    self.endpoint
+                )));
+            }
+            match Message::decode(self.line_in.trim_end_matches('\n'))? {
+                // Liveness chatter is legal on any socket; clients ignore it.
+                Message::Heartbeat { .. } => {}
+                msg => return Ok(msg),
+            }
+        }
+    }
+}
+
+impl Drop for RemotePool {
+    fn drop(&mut self) {
+        // Best-effort graceful close so the dispatcher retires the
+        // session instead of logging a dropped client.
+        let _ = self.send(&Message::Done);
+        if let Ok(s) = self.reader.get_ref().try_clone() {
+            s.shutdown();
+        }
+    }
+}
+
+impl Dispatch for RemotePool {
+    fn matches(&self, bench_spec: &str, machine: &MachineProfile) -> bool {
+        self.key.0 == bench_spec && &self.key.1 == machine
+    }
+
+    /// Ship the whole batch, then collect `RESULT`s in whatever order the
+    /// dispatcher's workers produce them, filing each by its index.
+    ///
+    /// Writing everything up front is deadlock-free because the
+    /// dispatcher buffers the queue in memory (it is not a pipe peer with
+    /// a bounded buffer and a blocked write of its own) — flow control
+    /// toward workers is the dispatcher's job.
+    fn evaluate(
+        &mut self,
+        jobs: &[EvalJob],
+        _effective: usize,
+    ) -> Result<Vec<JobOutcome>, ShardError> {
+        let with_outstanding = |mut e: ShardError, outcomes: &[Option<JobOutcome>]| {
+            e.outstanding =
+                outcomes.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i).collect();
+            e
+        };
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        for (i, job) in jobs.iter().enumerate() {
+            if let Err(e) = self.send(&Message::Job { index: i as u64, job: job.clone() }) {
+                return Err(with_outstanding(e, &outcomes));
+            }
+        }
+        let mut remaining = jobs.len();
+        while remaining > 0 {
+            let msg = match self.recv() {
+                Ok(m) => m,
+                Err(e) => return Err(with_outstanding(e, &outcomes)),
+            };
+            match msg {
+                Message::Result { index, outcome } => {
+                    let slot = outcomes.get_mut(index as usize).ok_or_else(|| {
+                        ShardError::new(format!(
+                            "farmd answered job {index}, batch has {}",
+                            jobs.len()
+                        ))
+                    })?;
+                    if slot.replace(outcome).is_some() {
+                        return Err(ShardError::new(format!("farmd answered job {index} twice")));
+                    }
+                    remaining -= 1;
+                }
+                Message::Goodbye { reason } => {
+                    return Err(with_outstanding(
+                        ShardError::new(format!("farmd ended the session: {reason}")),
+                        &outcomes,
+                    ));
+                }
+                other => {
+                    return Err(with_outstanding(
+                        ShardError::new(format!("farmd sent {other:?} mid-batch")),
+                        &outcomes,
+                    ));
+                }
+            }
+        }
+        Ok(outcomes.into_iter().map(|o| o.expect("all results filed")).collect())
+    }
+}

@@ -13,25 +13,68 @@
 //! IR-cache sets. A pool is keyed by `(benchmark spec, machine)` and is
 //! respawned when either changes; within one tuning run it persists across
 //! generation batches.
+//!
+//! **Worker loss is survivable.** Because every job is a pure function of
+//! its [`crate::EvalJob`], a worker that dies mid-batch (crash, kill, bad
+//! deploy) just has its outstanding jobs re-queued to the surviving
+//! workers; the outcome vector — and therefore the tuning result — is
+//! unchanged. Only when *every* worker is gone does
+//! [`evaluate`](crate::dispatch::Dispatch::evaluate) return a structured
+//! [`ShardError`] naming the
+//! last failed worker and the jobs still outstanding, so the caller can
+//! respawn a pool and retry.
 
 use crate::wire::{Message, WireEncoder, WireError, WIRE_VERSION};
 use crate::{EvalJob, JobOutcome};
 use petal_gpu::profile::MachineProfile;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
-/// A shard-dispatch failure: worker spawn/IO problems or protocol
-/// violations. Carries enough context to identify the worker at fault.
+/// A dispatch failure: worker spawn/IO problems or protocol violations.
+///
+/// Carries structured context — which worker failed and which batch jobs
+/// were still unanswered — so a retry layer (farmd's re-queue, or
+/// [`crate::EvalFarm`]'s pool respawn) can recover mechanically instead
+/// of parsing prose, and an operator reading the message can see exactly
+/// what was lost.
 #[derive(Debug)]
 pub struct ShardError {
     /// Human-readable description.
     pub message: String,
+    /// Index of the worker at fault (pool-local), when one is known.
+    pub worker: Option<usize>,
+    /// Submission indices of batch jobs still unanswered when the error
+    /// was raised (empty outside `evaluate`). These — and only these —
+    /// need re-dispatching.
+    pub outstanding: Vec<usize>,
+}
+
+impl ShardError {
+    /// New error with no worker/job context.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ShardError { message: message.into(), worker: None, outstanding: Vec::new() }
+    }
+
+    /// New error attributed to worker `w`.
+    #[must_use]
+    pub fn at_worker(w: usize, message: impl Into<String>) -> Self {
+        ShardError { message: message.into(), worker: Some(w), outstanding: Vec::new() }
+    }
 }
 
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "shard farm error: {}", self.message)
+        write!(f, "shard farm error: {}", self.message)?;
+        if let Some(w) = self.worker {
+            write!(f, " (worker {w})")?;
+        }
+        if !self.outstanding.is_empty() {
+            write!(f, "; {} jobs outstanding: {:?}", self.outstanding.len(), self.outstanding)?;
+        }
+        Ok(())
     }
 }
 
@@ -39,12 +82,12 @@ impl std::error::Error for ShardError {}
 
 impl From<WireError> for ShardError {
     fn from(e: WireError) -> Self {
-        ShardError { message: e.to_string() }
+        ShardError::new(e.to_string())
     }
 }
 
 fn io_err(context: &str, e: &std::io::Error) -> ShardError {
-    ShardError { message: format!("{context}: {e}") }
+    ShardError::new(format!("{context}: {e}"))
 }
 
 /// Locate the `petal-shard` worker binary.
@@ -79,12 +122,11 @@ pub fn resolve_shard_bin(explicit: Option<&Path>) -> Result<PathBuf, ShardError>
             }
         }
     }
-    Err(ShardError {
-        message: "petal-shard binary not found; build it with \
-                  `cargo build -p petal_shard` or point PETAL_SHARD_BIN \
-                  (or FarmSettings::shard_bin) at it"
-            .to_owned(),
-    })
+    Err(ShardError::new(
+        "petal-shard binary not found; build it with \
+         `cargo build -p petal_shard` or point PETAL_SHARD_BIN \
+         (or FarmSettings::shard_bin) at it",
+    ))
 }
 
 /// One spawned worker process with buffered pipes. The encoder and both
@@ -117,11 +159,10 @@ impl Worker {
             .read_line(&mut self.line_in)
             .map_err(|e| io_err("reading from shard worker", &e))?;
         if n == 0 {
-            return Err(ShardError {
-                message: "shard worker closed its pipe early (it may have \
-                          crashed; check its stderr above)"
-                    .to_owned(),
-            });
+            return Err(ShardError::new(
+                "shard worker closed its pipe early (it may have \
+                 crashed; check its stderr above)",
+            ));
         }
         Ok(Message::decode(self.line_in.trim_end_matches('\n'))?)
     }
@@ -140,10 +181,11 @@ impl Drop for Worker {
 }
 
 /// A pool of initialized `petal-shard` worker processes for one
-/// `(benchmark, machine)` session.
+/// `(benchmark, machine)` session. Workers that die stay dead (their
+/// slot is `None`) until the pool itself is respawned.
 #[derive(Debug)]
 pub(crate) struct ShardPool {
-    workers: Vec<Worker>,
+    workers: Vec<Option<Worker>>,
     /// Session key: the benchmark spec and machine this pool was
     /// initialized with; a mismatch forces a respawn.
     key: (String, MachineProfile),
@@ -172,42 +214,81 @@ impl ShardPool {
                 .map_err(|e| {
                     io_err(&format!("spawning shard worker {i} ({})", bin.display()), &e)
                 })?;
-            let stdin = child.stdin.take().expect("piped stdin");
-            let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+            let at = |msg: String| ShardError::at_worker(i, msg);
+            let Some(stdin) = child.stdin.take() else {
+                return Err(at("spawned without a piped stdin".to_owned()));
+            };
+            let Some(stdout) = child.stdout.take() else {
+                return Err(at("spawned without a piped stdout".to_owned()));
+            };
             let mut worker = Worker {
                 child,
                 stdin,
-                stdout,
+                stdout: BufReader::new(stdout),
                 enc: WireEncoder::default(),
                 line_out: String::new(),
                 line_in: String::new(),
             };
-            let at = |e: ShardError| ShardError { message: format!("worker {i}: {}", e.message) };
-            worker.send(&init).map_err(at)?;
-            worker.stdin.flush().map_err(|e| io_err(&format!("worker {i}: flushing INIT"), &e))?;
-            match worker.recv().map_err(at)? {
+            worker.send(&init).map_err(|e| at(e.message))?;
+            worker.stdin.flush().map_err(|e| at(format!("flushing INIT: {e}")))?;
+            match worker.recv().map_err(|e| at(e.message))? {
                 Message::Ready { version } if version == WIRE_VERSION => {}
                 Message::Ready { version } => {
-                    return Err(ShardError {
-                        message: format!(
-                            "shard worker {i} speaks wire version {version}, parent speaks \
-                             {WIRE_VERSION}"
-                        ),
-                    });
+                    return Err(at(format!(
+                        "shard worker speaks wire version {version}, parent speaks {WIRE_VERSION}"
+                    )));
                 }
-                other => {
-                    return Err(ShardError {
-                        message: format!("shard worker {i} answered INIT with {other:?}"),
-                    });
-                }
+                other => return Err(at(format!("answered INIT with {other:?}"))),
             }
-            workers.push(worker);
+            workers.push(Some(worker));
         }
         Ok(ShardPool { workers, key: (bench_spec.to_owned(), machine.clone()) })
     }
 
-    /// Whether this pool was initialized for `(bench_spec, machine)`.
-    pub(crate) fn matches(&self, bench_spec: &str, machine: &MachineProfile) -> bool {
+    /// Workers still alive.
+    fn survivors(&self) -> usize {
+        self.workers.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Retire worker `w` after `cause`, re-queueing its unanswered jobs
+    /// (`outstanding[w]`) onto the front of `todo` in submission order.
+    /// The returned error is only raised if no workers survive.
+    fn retire(
+        &mut self,
+        w: usize,
+        cause: ShardError,
+        outstanding: &mut [VecDeque<usize>],
+        todo: &mut VecDeque<usize>,
+    ) -> ShardError {
+        self.workers[w] = None; // drop reaps the child
+        while let Some(i) = outstanding[w].pop_back() {
+            todo.push_front(i);
+        }
+        eprintln!(
+            "petal-farm: shard worker {w} lost ({}); re-queueing its jobs to survivors",
+            cause.message
+        );
+        ShardError { worker: Some(w), ..cause }
+    }
+
+    /// Read the next RESULT from worker `w`, which must answer `expected`
+    /// (workers reply strictly in arrival order). Every failure names the
+    /// worker, so a dead process in a large pool is identifiable.
+    fn read_result(&mut self, w: usize, expected: usize) -> Result<JobOutcome, ShardError> {
+        let at = |msg: String| ShardError::at_worker(w, msg);
+        let worker = self.workers[w].as_mut().expect("reading from a live worker");
+        match worker.recv().map_err(|e| at(e.message))? {
+            Message::Result { index, outcome } if index == expected as u64 => Ok(outcome),
+            Message::Result { index, .. } => {
+                Err(at(format!("answered job {index} when {expected} was expected")))
+            }
+            other => Err(at(format!("answered JOB with {other:?}"))),
+        }
+    }
+}
+
+impl crate::dispatch::Dispatch for ShardPool {
+    fn matches(&self, bench_spec: &str, machine: &MachineProfile) -> bool {
         self.key.0 == bench_spec && &self.key.1 == machine
     }
 
@@ -215,11 +296,16 @@ impl ShardPool {
     /// outcomes come back in submission order.
     ///
     /// Writes and reads are interleaved with a bounded number of
-    /// outstanding jobs per worker ([`MAX_OUTSTANDING`]), so a batch of
+    /// outstanding jobs per worker (`MAX_OUTSTANDING`), so a batch of
     /// any size can never deadlock on full OS pipe buffers: the parent
     /// only blocks writing when a worker's queue is short, and only
     /// blocks reading results that worker is guaranteed to produce.
-    pub(crate) fn evaluate(
+    ///
+    /// A worker that dies mid-batch has its unanswered jobs re-queued to
+    /// the survivors (jobs are pure, so the outcomes are identical);
+    /// only the loss of *every* worker aborts the batch, with the
+    /// unanswered submission indices in [`ShardError::outstanding`].
+    fn evaluate(
         &mut self,
         jobs: &[EvalJob],
         effective: usize,
@@ -232,39 +318,88 @@ impl ShardPool {
 
         let effective = effective.clamp(1, self.workers.len().max(1));
         let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        // Jobs not yet submitted, in submission order (re-queued jobs
+        // return to the front so they are retried first).
+        let mut todo: VecDeque<usize> = (0..jobs.len()).collect();
         // Per-worker FIFO of submitted-but-unread job indices.
-        let mut outstanding: Vec<std::collections::VecDeque<usize>> =
-            vec![std::collections::VecDeque::new(); effective];
-        for (i, job) in jobs.iter().enumerate() {
-            let w = i % effective;
-            if outstanding[w].len() >= MAX_OUTSTANDING {
-                let expected = outstanding[w].pop_front().expect("non-empty queue");
-                outcomes[expected] = Some(self.read_result(w, expected)?);
-            }
-            self.workers[w]
-                .send(&Message::Job { index: i as u64, job: job.clone() })
-                .map_err(|e| ShardError { message: format!("worker {w}: {}", e.message) })?;
-            outstanding[w].push_back(i);
-        }
-        for (w, queue) in outstanding.iter_mut().enumerate() {
-            while let Some(expected) = queue.pop_front() {
-                outcomes[expected] = Some(self.read_result(w, expected)?);
-            }
-        }
-        Ok(outcomes.into_iter().map(|o| o.expect("every job answered")).collect())
-    }
+        let mut outstanding: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.workers.len()];
+        // The error that killed the last worker, for the all-dead report.
+        let mut last_loss: Option<ShardError> = None;
 
-    /// Read the next RESULT from worker `w`, which must answer `expected`
-    /// (workers reply strictly in arrival order). Every failure names the
-    /// worker, so a dead process in a large pool is identifiable.
-    fn read_result(&mut self, w: usize, expected: usize) -> Result<JobOutcome, ShardError> {
-        let at = |e: ShardError| ShardError { message: format!("worker {w}: {}", e.message) };
-        match self.workers[w].recv().map_err(at)? {
-            Message::Result { index, outcome } if index == expected as u64 => Ok(outcome),
-            Message::Result { index, .. } => Err(ShardError {
-                message: format!("worker {w} answered job {index} when {expected} was expected"),
-            }),
-            other => Err(ShardError { message: format!("worker {w} answered JOB with {other:?}") }),
+        let all_dead = |pool: &ShardPool,
+                        todo: &VecDeque<usize>,
+                        outcomes: &[Option<JobOutcome>],
+                        last: &Option<ShardError>| {
+            let mut unanswered: Vec<usize> = todo.iter().copied().collect();
+            unanswered
+                .extend(outcomes.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i));
+            unanswered.sort_unstable();
+            unanswered.dedup();
+            debug_assert_eq!(pool.survivors(), 0);
+            ShardError {
+                message: format!(
+                    "every shard worker is gone (last loss: {})",
+                    last.as_ref().map_or("unknown", |e| e.message.as_str())
+                ),
+                worker: last.as_ref().and_then(|e| e.worker),
+                outstanding: unanswered,
+            }
+        };
+
+        loop {
+            // Submission phase: place pending jobs on live workers with
+            // queue room. The healthy-path placement is the historical
+            // `i mod effective` round-robin; a dead target falls through
+            // to the next live worker (deterministically, by scanning
+            // forward from the target).
+            'submit: while let Some(&i) = todo.front() {
+                let target = i % effective;
+                let Some(w) = (0..self.workers.len())
+                    .map(|k| (target + k) % self.workers.len())
+                    .find(|&w| self.workers[w].is_some() && outstanding[w].len() < MAX_OUTSTANDING)
+                else {
+                    break 'submit; // every live worker is full (or none live)
+                };
+                todo.pop_front();
+                let msg = Message::Job { index: i as u64, job: jobs[i].clone() };
+                match self.workers[w].as_mut().expect("live worker").send(&msg) {
+                    Ok(()) => outstanding[w].push_back(i),
+                    Err(e) => {
+                        // The job we failed to write is outstanding too.
+                        todo.push_front(i);
+                        last_loss = Some(self.retire(w, e, &mut outstanding, &mut todo));
+                    }
+                }
+            }
+
+            // Completion check: everything answered?
+            if outcomes.iter().all(Option::is_some) {
+                return Ok(outcomes.into_iter().map(|o| o.expect("checked above")).collect());
+            }
+
+            // Drain phase: read one result from the live worker with the
+            // deepest queue (keeps every pipeline moving). If no live
+            // worker holds outstanding jobs, either every worker died or
+            // the submit phase is stuck with zero survivors.
+            let Some(w) = (0..self.workers.len())
+                .filter(|&w| self.workers[w].is_some() && !outstanding[w].is_empty())
+                .max_by_key(|&w| outstanding[w].len())
+            else {
+                return Err(all_dead(self, &todo, &outcomes, &last_loss));
+            };
+            let expected = outstanding[w].front().copied().expect("non-empty queue");
+            match self.read_result(w, expected) {
+                Ok(outcome) => {
+                    outstanding[w].pop_front();
+                    outcomes[expected] = Some(outcome);
+                }
+                Err(e) => {
+                    last_loss = Some(self.retire(w, e, &mut outstanding, &mut todo));
+                    if self.survivors() == 0 {
+                        return Err(all_dead(self, &todo, &outcomes, &last_loss));
+                    }
+                }
+            }
         }
     }
 }

@@ -9,7 +9,9 @@
 //!
 //! * **One record per line.** A record is a `TAG` followed by zero or more
 //!   fields, terminated by `\n`. Tags are upper-case ASCII
-//!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`).
+//!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`, and — since wire version
+//!   2, for the socket-served farm — `HELLO`, `REGISTER`, `HEARTBEAT`,
+//!   `GOODBYE`).
 //! * **Length-prefixed fields.** Each field is ` <len>:<bytes>` where
 //!   `len` is the decimal byte length of `<bytes>` *after* escaping. The
 //!   prefix makes spaces inside fields unambiguous without quoting.
@@ -21,16 +23,32 @@
 //!   [`petal_apps::spec_f64`] codec) — determinism across the process
 //!   boundary is the whole point, so decimal round-trips are not
 //!   trusted.
-//! * **Versioned handshake.** `INIT` and `READY` carry
-//!   [`WIRE_VERSION`]; a worker refuses a version it does not speak and
-//!   the parent refuses a worker that answers with a different one.
+//! * **Versioned handshake.** `INIT` and `READY` carry a wire version;
+//!   a worker refuses a version it does not speak and the parent refuses
+//!   a worker that answers with a different one. Over sockets, `HELLO`
+//!   goes first and carries the sender's *supported range*
+//!   ([`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]); both sides settle on
+//!   the highest version both speak ([`negotiate`]) or reject the peer
+//!   with a clean diagnostic — never a parse error, because a `HELLO`'s
+//!   first two fields are frozen across all future versions and any
+//!   trailing fields are ignored.
 //!
-//! Message flow: parent sends `INIT` (version, benchmark spec, machine
-//! profile), worker answers `READY` (version). Then any number of `JOB`
-//! records (index, size, engine seed, config text), each answered by one
-//! `RESULT` (index, raw outcome incl. the trial's compile events — pricing
-//! happens in the parent's submission-order merge, never in a worker).
-//! `DONE` (or EOF) ends the session.
+//! Pipe message flow (versions 1+): parent sends `INIT` (version,
+//! benchmark spec, machine profile), worker answers `READY` (version).
+//! Then any number of `JOB` records (index, size, engine seed, config
+//! text), each answered by one `RESULT` (index, raw outcome incl. the
+//! trial's compile events — pricing happens in the parent's
+//! submission-order merge, never in a worker). `DONE` (or EOF) ends the
+//! session.
+//!
+//! Socket message flow (version 2, see `docs/farmd.md`): every
+//! connection opens with a `HELLO` exchange. A **worker** then sends
+//! `REGISTER` (name, slots, pid) and `HEARTBEAT`s on a period, and
+//! serves interleaved `INIT`/`JOB` records from the dispatcher;
+//! `GOODBYE` (either direction) ends the connection gracefully. A
+//! **client** (the tuner) follows its `HELLO` with the same
+//! `INIT`/`JOB`/`RESULT`/`DONE` flow as a pipe session, except `RESULT`s
+//! may arrive in any order (the dispatcher merges many workers).
 
 use crate::{EvalJob, JobOutcome};
 use petal_core::Config;
@@ -38,7 +56,41 @@ use petal_gpu::profile::{CpuProfile, GpuProfile, MachineProfile};
 use std::fmt;
 
 /// Protocol version spoken by this build (bumped on any wire change).
-pub const WIRE_VERSION: u64 = 1;
+/// Version 2 added the socket-served farm records (`HELLO`, `REGISTER`,
+/// `HEARTBEAT`, `GOODBYE`) and out-of-order `RESULT` delivery to
+/// clients.
+pub const WIRE_VERSION: u64 = 2;
+
+/// Oldest protocol version this build still speaks. Version 2 is a pure
+/// superset of version 1 (the pipe records are unchanged), so a v2
+/// worker serves a v1 parent.
+pub const MIN_WIRE_VERSION: u64 = 1;
+
+/// Settle a common wire version from two advertised `min..=max` ranges:
+/// the highest version both sides speak.
+///
+/// # Errors
+/// A diagnostic naming both ranges when they do not overlap — the one
+/// place version skew is allowed to surface, so it must never look like
+/// a parse error.
+pub fn negotiate(ours: (u64, u64), theirs: (u64, u64)) -> Result<u64, WireError> {
+    let agreed = ours.1.min(theirs.1);
+    if agreed >= ours.0.max(theirs.0) {
+        Ok(agreed)
+    } else {
+        Err(WireError::new(format!(
+            "no common wire version: peer speaks {}..={}, this build speaks {}..={}",
+            theirs.0, theirs.1, ours.0, ours.1
+        )))
+    }
+}
+
+/// Whether `version` is one this build speaks (for single-version
+/// handshakes like `INIT`).
+#[must_use]
+pub fn version_supported(version: u64) -> bool {
+    (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version)
+}
 
 /// A wire-format violation (framing, field count/type, version skew).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -282,6 +334,25 @@ impl WireEncoder {
                 }
             }
             Message::Done => out.push_str("DONE"),
+            Message::Hello { min_version, max_version } => {
+                out.push_str("HELLO");
+                self.field_display(out, min_version);
+                self.field_display(out, max_version);
+            }
+            Message::Register { name, slots, pid } => {
+                out.push_str("REGISTER");
+                push_field_raw(out, name);
+                self.field_display(out, slots);
+                self.field_display(out, pid);
+            }
+            Message::Heartbeat { seq } => {
+                out.push_str("HEARTBEAT");
+                self.field_display(out, seq);
+            }
+            Message::Goodbye { reason } => {
+                out.push_str("GOODBYE");
+                push_field_raw(out, reason);
+            }
         }
     }
 
@@ -377,6 +448,42 @@ pub enum Message {
     },
     /// Parent → worker: end of session; the worker exits cleanly.
     Done,
+    /// Either direction, first record on a socket connection: version
+    /// negotiation. Fields 0 and 1 (min and max supported version) are
+    /// frozen across all future wire versions, and decoding ignores any
+    /// trailing fields, so skew is always reported as skew.
+    Hello {
+        /// Oldest wire version the sender speaks.
+        min_version: u64,
+        /// Newest wire version the sender speaks.
+        max_version: u64,
+    },
+    /// Worker → dispatcher, after `HELLO`: join the worker pool.
+    Register {
+        /// Operator-facing worker name (shows up in dispatcher logs and
+        /// error messages).
+        name: String,
+        /// Jobs the dispatcher may keep in flight at this worker — the
+        /// pipelining depth, not a parallelism claim (workers evaluate
+        /// serially).
+        slots: u64,
+        /// Worker process id, for operator diagnostics.
+        pid: u64,
+    },
+    /// Worker → dispatcher: liveness proof, sent on a period even while
+    /// a long trial is evaluating. Any traffic counts as liveness; the
+    /// heartbeat exists for workers that are busy or idle.
+    Heartbeat {
+        /// Monotonic per-connection sequence number.
+        seq: u64,
+    },
+    /// Either direction: graceful leave (worker draining, dispatcher
+    /// rejecting or shutting down). Carries the reason so version skew
+    /// and policy rejections surface as diagnostics, not EOFs.
+    Goodbye {
+        /// Human-readable reason for the disconnect.
+        reason: String,
+    },
 }
 
 impl Message {
@@ -438,10 +545,28 @@ impl Message {
                 }
             }
             "DONE" => Message::Done,
+            "HELLO" => {
+                // Forward compatibility: a future version may append
+                // capability fields, so a HELLO never rejects trailing
+                // fields — version skew must surface through
+                // `negotiate`, not as a parse error.
+                return Ok(Message::Hello { min_version: r.u64()?, max_version: r.u64()? });
+            }
+            "REGISTER" => {
+                Message::Register { name: r.str()?.to_owned(), slots: r.u64()?, pid: r.u64()? }
+            }
+            "HEARTBEAT" => Message::Heartbeat { seq: r.u64()? },
+            "GOODBYE" => Message::Goodbye { reason: r.str()?.to_owned() },
             tag => return Err(WireError::new(format!("unknown tag `{tag}`"))),
         };
         r.finish()?;
         Ok(msg)
+    }
+
+    /// The `HELLO` this build opens socket connections with.
+    #[must_use]
+    pub fn hello() -> Message {
+        Message::Hello { min_version: MIN_WIRE_VERSION, max_version: WIRE_VERSION }
     }
 }
 
@@ -555,6 +680,10 @@ mod tests {
                 },
             },
             Message::Done,
+            Message::hello(),
+            Message::Register { name: "rack7/worker-3".to_owned(), slots: 2, pid: 4242 },
+            Message::Heartbeat { seq: u64::MAX },
+            Message::Goodbye { reason: "drained: operator shutdown".to_owned() },
         ];
         for msg in messages {
             let line = msg.encode();
@@ -594,6 +723,40 @@ mod tests {
             enc.encode_into(&msg, &mut line);
             assert_eq!(line, msg.encode());
             assert_eq!(Message::decode(&line).expect("decodes"), msg);
+        }
+    }
+
+    #[test]
+    fn negotiation_picks_the_highest_common_version_or_rejects_cleanly() {
+        // Same build on both ends.
+        assert_eq!(
+            negotiate((MIN_WIRE_VERSION, WIRE_VERSION), (MIN_WIRE_VERSION, WIRE_VERSION)),
+            Ok(WIRE_VERSION)
+        );
+        // A v1-only peer still gets served (v2 is a superset).
+        assert_eq!(negotiate((MIN_WIRE_VERSION, WIRE_VERSION), (1, 1)), Ok(1));
+        // A future peer that still speaks our versions settles on ours.
+        assert_eq!(
+            negotiate((MIN_WIRE_VERSION, WIRE_VERSION), (1, WIRE_VERSION + 5)),
+            Ok(WIRE_VERSION)
+        );
+        // A future peer that dropped everything we speak is rejected with
+        // a diagnostic naming both ranges.
+        let e = negotiate((MIN_WIRE_VERSION, WIRE_VERSION), (WIRE_VERSION + 1, WIRE_VERSION + 3))
+            .expect_err("no overlap");
+        assert!(e.message.contains("no common wire version"), "{e}");
+        assert!(e.message.contains(&format!("{}..={}", WIRE_VERSION + 1, WIRE_VERSION + 3)), "{e}");
+    }
+
+    #[test]
+    fn hello_tolerates_future_trailing_fields() {
+        // A v3 HELLO might append capability fields; decoding must still
+        // yield the version range (fields 0 and 1 are frozen), because
+        // rejecting it as a parse error would mask the skew diagnostic.
+        let future = "HELLO 1:1 1:9 12:gpu-direct=1 4:zstd";
+        match Message::decode(future).expect("future HELLO still decodes") {
+            Message::Hello { min_version: 1, max_version: 9 } => {}
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 

@@ -8,7 +8,7 @@
 
 use petal_core::config::{Selector, Tunable};
 use petal_core::Config;
-use petal_farm::wire::{Message, Record, WIRE_VERSION};
+use petal_farm::wire::{negotiate, version_supported, Message, Record, WIRE_VERSION};
 use petal_farm::{EvalJob, JobOutcome};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -143,5 +143,90 @@ proptest! {
             machine.cpu.flops_per_core.to_bits()
         );
         prop_assert_eq!(decoded.gpu.is_some(), machine.gpu.is_some());
+    }
+
+    // ---- the v2 farm-control messages (HELLO/REGISTER/HEARTBEAT/GOODBYE) ----
+
+    #[test]
+    fn hello_messages_round_trip_any_version_range(
+        min_version in any::<u64>(),
+        max_version in any::<u64>(),
+    ) {
+        let msg = Message::Hello { min_version, max_version };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn register_messages_round_trip_hostile_names(
+        name_seed in any::<u64>(),
+        slots in any::<u64>(),
+        pid in any::<u64>(),
+    ) {
+        let msg = Message::Register { name: hostile_string(name_seed), slots, pid };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn heartbeat_messages_round_trip(seq in any::<u64>()) {
+        let msg = Message::Heartbeat { seq };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn goodbye_messages_round_trip_hostile_reasons(reason_seed in any::<u64>()) {
+        let msg = Message::Goodbye { reason: hostile_string(reason_seed) };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    // ---- negotiation properties ----
+
+    #[test]
+    fn negotiation_is_symmetric_and_lands_in_both_ranges(
+        ours in (0u64..100, 0u64..100),
+        theirs in (0u64..100, 0u64..100),
+    ) {
+        let ours = (ours.0.min(ours.1), ours.0.max(ours.1));
+        let theirs = (theirs.0.min(theirs.1), theirs.0.max(theirs.1));
+        let forward = negotiate(ours, theirs);
+        let backward = negotiate(theirs, ours);
+        // Both sides must independently pick the same version.
+        prop_assert_eq!(forward.clone().ok(), backward.ok());
+        match forward {
+            Ok(v) => {
+                prop_assert!((ours.0..=ours.1).contains(&v));
+                prop_assert!((theirs.0..=theirs.1).contains(&v));
+                // Highest common version: nothing above it is shared.
+                prop_assert!(v == ours.1.min(theirs.1));
+            }
+            Err(e) => {
+                // Disjoint ranges — and the diagnostic names both.
+                prop_assert!(ours.1 < theirs.0 || theirs.1 < ours.0);
+                let text = e.to_string();
+                prop_assert!(text.contains("no common wire version"), "{}", text);
+                prop_assert!(
+                    text.contains(&format!("{}..={}", ours.0, ours.1)),
+                    "{}", text
+                );
+                prop_assert!(
+                    text.contains(&format!("{}..={}", theirs.0, theirs.1)),
+                    "{}", text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negotiating_with_this_build_agrees_iff_versions_are_supported(
+        min in 0u64..10,
+        span in 0u64..10,
+    ) {
+        let theirs = (min, min + span);
+        let ours = (petal_farm::wire::MIN_WIRE_VERSION, WIRE_VERSION);
+        let agreed = negotiate(ours, theirs);
+        let overlap = (theirs.0..=theirs.1).any(version_supported);
+        prop_assert_eq!(agreed.is_ok(), overlap);
+        if let Ok(v) = agreed {
+            prop_assert!(version_supported(v));
+        }
     }
 }

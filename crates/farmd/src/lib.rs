@@ -1,0 +1,595 @@
+//! # petal-farmd — the socket-served tuning-farm dispatcher
+//!
+//! `petal-farmd` turns the single-box evaluation farm into a service: it
+//! listens on TCP and/or unix-domain sockets, admits **workers**
+//! (`petal-shard --connect`) into a heartbeat-monitored registry, serves
+//! **clients** (a tuner with `FarmSettings::endpoint` set), and pumps
+//! jobs from client sessions to whichever workers are alive — re-queueing
+//! a lost worker's outstanding jobs to survivors so churn never fails a
+//! batch. See `docs/farmd.md` for the protocol lifecycle and the
+//! determinism argument.
+//!
+//! ## Why churn cannot perturb results
+//!
+//! The dispatcher never evaluates, prices, or reorders anything
+//! semantically: jobs are pure functions of their [`petal_farm::EvalJob`]
+//! and every `RESULT` is keyed by the client's submission index, so the
+//! client's submission-order merge (where all compile re-pricing lives)
+//! sees the same values no matter which worker answered, how often a job
+//! was retried, or in what order answers arrived. The dispatcher's only
+//! obligations are *exactly-once forwarding* per index (the registry's
+//! FIFO + verdicts) and *eventual completion* (re-queue on loss) —
+//! scheduling is free to be elastic.
+//!
+//! ## Threading model
+//!
+//! Everything is std-only and lock-disciplined rather than async:
+//!
+//! * one **accept thread** per listener, polling with a stop flag;
+//! * one **reader thread** per connection (see `conn`), reading with a
+//!   socket timeout so shutdown is prompt;
+//! * one **scheduler thread** that assigns queued jobs and expires
+//!   silent workers, woken by a condvar on any state change;
+//! * all shared state behind one [`Mutex`] (`Inner`), and every socket
+//!   write behind a per-connection mutex **outside** the global lock, so
+//!   a slow peer can never stall the dispatcher.
+
+#![warn(missing_docs)]
+
+mod conn;
+pub mod proxy;
+pub mod registry;
+
+use conn::LineWriter;
+use petal_farm::net::{Endpoint, FarmListener};
+use petal_farm::wire::{Message, WIRE_VERSION};
+use petal_farm::EvalJob;
+use petal_gpu::profile::MachineProfile;
+use registry::{Ack, JobKey, Registry};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Dispatcher tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FarmdOptions {
+    /// A worker silent for longer than this is drained and its jobs
+    /// re-queued. Workers heartbeat well under it (250 ms by default).
+    pub deadline: Duration,
+    /// Scheduler wake period when idle (it is also condvar-woken on
+    /// every state change, so this only bounds expiry latency).
+    pub poll: Duration,
+    /// How long queued jobs may wait with **zero** ready workers before
+    /// their sessions are closed with a GOODBYE. This is the elastic
+    /// grace window: workers joining within it pick up the backlog;
+    /// after it, clients get a diagnostic instead of blocking forever on
+    /// an empty fleet.
+    pub starvation: Duration,
+}
+
+impl Default for FarmdOptions {
+    fn default() -> Self {
+        FarmdOptions {
+            deadline: Duration::from_secs(2),
+            poll: Duration::from_millis(50),
+            starvation: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A point-in-time snapshot of dispatcher state, for logs and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmdStats {
+    /// Registered workers (both ready and draining).
+    pub workers: usize,
+    /// Workers currently eligible for assignments.
+    pub ready: usize,
+    /// Open client sessions.
+    pub sessions: usize,
+    /// Jobs queued and not yet assigned.
+    pub queued: usize,
+    /// Jobs assigned to workers and unanswered.
+    pub inflight: usize,
+    /// Jobs re-queued due to worker loss, lifetime total.
+    pub requeues: u64,
+    /// Results forwarded to clients, lifetime total.
+    pub completed: u64,
+}
+
+/// One queued (not yet assigned) job.
+struct Pending {
+    session: u64,
+    index: u64,
+    job: EvalJob,
+}
+
+/// One open client session.
+struct Session {
+    bench_spec: String,
+    machine: MachineProfile,
+    writer: Arc<Mutex<LineWriter>>,
+}
+
+/// All mutable dispatcher state, behind the one global lock.
+struct Inner {
+    registry: Registry,
+    /// Write handles of registered workers, by registry id.
+    worker_writers: BTreeMap<u64, Arc<Mutex<LineWriter>>>,
+    sessions: BTreeMap<u64, Session>,
+    next_session: u64,
+    /// Unassigned jobs, FIFO; re-queued jobs go back to the *front* so
+    /// recovery work is retried before new work.
+    queue: VecDeque<Pending>,
+    /// Payloads of assigned jobs, so a lost worker's inflight keys can be
+    /// turned back into queue entries.
+    inflight_jobs: BTreeMap<JobKey, EvalJob>,
+    /// When the queue first became non-empty with zero ready workers;
+    /// cleared the moment either condition lapses.
+    starved_since: Option<Instant>,
+    requeues: u64,
+    completed: u64,
+}
+
+/// State shared by every dispatcher thread.
+pub(crate) struct Shared {
+    inner: Mutex<Inner>,
+    /// Woken on any state change the scheduler cares about (job queued,
+    /// worker joined/lost, session closed).
+    wake: Condvar,
+    pub(crate) stop: AtomicBool,
+    opts: FarmdOptions,
+}
+
+/// One planned burst of sends to a single worker, executed outside the
+/// global lock.
+struct SendPlan {
+    worker: u64,
+    writer: Arc<Mutex<LineWriter>>,
+    msgs: Vec<Message>,
+}
+
+impl Shared {
+    // ---- worker-side entry points (called from conn reader threads) ----
+
+    fn notify(&self) {
+        self.wake.notify_all();
+    }
+
+    pub(crate) fn admit_worker(
+        self: &Arc<Self>,
+        name: &str,
+        slots: u64,
+        pid: u64,
+        writer: Arc<Mutex<LineWriter>>,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("farmd lock");
+        let id = inner.registry.register(name, slots, pid, Instant::now());
+        inner.worker_writers.insert(id, writer);
+        drop(inner);
+        self.notify();
+        id
+    }
+
+    pub(crate) fn touch_worker(&self, id: u64, now: Instant) -> bool {
+        self.inner.lock().expect("farmd lock").registry.touch(id, now)
+    }
+
+    pub(crate) fn worker_gone(&self, id: u64) -> bool {
+        self.inner.lock().expect("farmd lock").registry.get(id).is_none()
+    }
+
+    /// Judge a RESULT. `Some((session, index))` means fresh — forward it;
+    /// `None` means it was dropped (duplicate/stale) or the worker was
+    /// torn down (disorder).
+    pub(crate) fn complete_job(
+        self: &Arc<Self>,
+        id: u64,
+        index: u64,
+        now: Instant,
+    ) -> Option<(u64, u64)> {
+        let mut inner = self.inner.lock().expect("farmd lock");
+        inner.registry.touch(id, now);
+        match inner.registry.complete(id, index) {
+            Ack::Fresh(key) => {
+                inner.inflight_jobs.remove(&key);
+                inner.completed += 1;
+                drop(inner);
+                self.notify(); // a slot freed up
+                Some(key)
+            }
+            Ack::Duplicate | Ack::Stale => None,
+            Ack::Disorder => {
+                drop(inner);
+                self.lose_worker(id, &format!("RESULT {index} violates FIFO order"), true);
+                None
+            }
+        }
+    }
+
+    /// Tear down worker `id`: re-queue everything it held, forget its
+    /// writer, optionally send a GOODBYE naming the reason, and close its
+    /// socket. Idempotent — the reader thread and the scheduler can both
+    /// call it for the same loss.
+    pub(crate) fn lose_worker(self: &Arc<Self>, id: u64, reason: &str, send_goodbye: bool) {
+        let writer = {
+            let mut inner = self.inner.lock().expect("farmd lock");
+            let keys = inner.registry.remove(id);
+            if !keys.is_empty() {
+                eprintln!(
+                    "petal-farmd: worker {id} lost ({reason}); re-queueing {} jobs",
+                    keys.len()
+                );
+            } else if inner.worker_writers.contains_key(&id) {
+                eprintln!("petal-farmd: worker {id} left ({reason})");
+            }
+            inner.requeue(&keys);
+            inner.worker_writers.remove(&id)
+        };
+        if let Some(writer) = writer {
+            let mut w = writer.lock().expect("writer lock");
+            if send_goodbye {
+                let _ = w.send(&Message::Goodbye { reason: reason.to_owned() });
+            }
+            w.shutdown();
+        }
+        self.notify();
+    }
+
+    /// Forward a fresh RESULT to its session's client (outside the global
+    /// lock — only the session writer's own mutex is held while writing).
+    pub(crate) fn forward_result(
+        self: &Arc<Self>,
+        session: u64,
+        index: u64,
+        outcome: petal_farm::JobOutcome,
+    ) {
+        let writer = {
+            let inner = self.inner.lock().expect("farmd lock");
+            inner.sessions.get(&session).map(|s| Arc::clone(&s.writer))
+        };
+        // A session that disappeared mid-flight just drops the answer.
+        if let Some(writer) = writer {
+            let sent = writer
+                .lock()
+                .expect("writer lock")
+                .send(&Message::Result { index, outcome })
+                .is_ok();
+            if !sent {
+                self.close_session(session, "client write failed");
+            }
+        }
+    }
+
+    // ---- client-side entry points ----
+
+    pub(crate) fn open_session(
+        self: &Arc<Self>,
+        bench_spec: &str,
+        machine: MachineProfile,
+        writer: Arc<Mutex<LineWriter>>,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("farmd lock");
+        let id = inner.next_session;
+        inner.next_session += 1;
+        inner.sessions.insert(id, Session { bench_spec: bench_spec.to_owned(), machine, writer });
+        id
+    }
+
+    pub(crate) fn enqueue_job(self: &Arc<Self>, session: u64, index: u64, job: EvalJob) {
+        let mut inner = self.inner.lock().expect("farmd lock");
+        if !inner.sessions.contains_key(&session) {
+            return;
+        }
+        inner.queue.push_back(Pending { session, index, job });
+        drop(inner);
+        self.notify();
+    }
+
+    /// Retire a session: drop its queued jobs and forget it. Results for
+    /// its still-inflight jobs will be dropped on arrival.
+    pub(crate) fn close_session(self: &Arc<Self>, session: u64, reason: &str) {
+        let mut inner = self.inner.lock().expect("farmd lock");
+        if inner.sessions.remove(&session).is_none() {
+            return; // already closed by the other path
+        }
+        inner.queue.retain(|p| p.session != session);
+        inner.inflight_jobs.retain(|&(s, _), _| s != session);
+        eprintln!("petal-farmd: session {session} closed ({reason})");
+        drop(inner);
+        self.notify();
+    }
+}
+
+impl Inner {
+    /// Put re-queued job keys back at the *front* of the queue in their
+    /// original FIFO order, rehydrating payloads from `inflight_jobs`.
+    /// Keys whose session has since closed are dropped.
+    fn requeue(&mut self, keys: &[JobKey]) {
+        for &(session, index) in keys.iter().rev() {
+            if let Some(job) = self.inflight_jobs.remove(&(session, index)) {
+                self.requeues += 1;
+                self.queue.push_front(Pending { session, index, job });
+            }
+        }
+    }
+
+    /// Plan one scheduler pass: expire silent workers, assign queued
+    /// jobs, and detect starvation. Returns the socket work to perform
+    /// outside the lock: send plans, worker closes, and starved sessions.
+    #[allow(clippy::type_complexity)]
+    fn plan(
+        &mut self,
+        now: Instant,
+        starvation: Duration,
+    ) -> (Vec<SendPlan>, Vec<(u64, Arc<Mutex<LineWriter>>)>, Vec<(u64, Arc<Mutex<LineWriter>>)>)
+    {
+        // Expiry: drain workers past the heartbeat deadline and reclaim
+        // their jobs. Their connections are closed outside the lock; the
+        // reader thread's EOF then removes them from the registry.
+        let mut closes = Vec::new();
+        for (id, keys) in self.registry.expire(now) {
+            eprintln!(
+                "petal-farmd: worker {id} missed its heartbeat deadline; re-queueing {} jobs",
+                keys.len()
+            );
+            self.requeue(&keys);
+            if let Some(writer) = self.worker_writers.get(&id) {
+                closes.push((id, Arc::clone(writer)));
+            }
+        }
+
+        // Assignment: drain the queue onto ready workers with free slots.
+        // One SendPlan per worker keeps each worker's INIT→JOB ordering
+        // while batching lock acquisitions.
+        let mut plans: Vec<SendPlan> = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let session_id = front.session;
+            let Some(session) = self.sessions.get(&session_id) else {
+                self.queue.pop_front(); // session closed while queued
+                continue;
+            };
+            let Some(worker) = self.registry.pick(session_id) else { break };
+            let pending = self.queue.pop_front().expect("front exists");
+            let writer =
+                Arc::clone(self.worker_writers.get(&worker).expect("picked worker has a writer"));
+            let plan = match plans.iter_mut().find(|p| p.worker == worker) {
+                Some(p) => p,
+                None => {
+                    plans.push(SendPlan { worker, writer, msgs: Vec::new() });
+                    plans.last_mut().expect("just pushed")
+                }
+            };
+            if self.registry.session(worker) != Some(session_id) {
+                plan.msgs.push(Message::Init {
+                    version: WIRE_VERSION,
+                    bench_spec: session.bench_spec.clone(),
+                    machine: Box::new(session.machine.clone()),
+                });
+                self.registry.set_session(worker, session_id);
+            }
+            let key = (session_id, pending.index);
+            self.registry.assign(worker, key);
+            self.inflight_jobs.insert(key, pending.job.clone());
+            plan.msgs.push(Message::Job { index: pending.index, job: pending.job });
+        }
+
+        // Starvation: jobs waiting with an empty fleet. Within the grace
+        // window this is just elastic join in progress; past it, sessions
+        // with queued work are told so instead of blocking forever.
+        let mut starved = Vec::new();
+        if self.queue.is_empty() || self.registry.ready_count() > 0 {
+            self.starved_since = None;
+        } else {
+            let since = *self.starved_since.get_or_insert(now);
+            if now.duration_since(since) >= starvation {
+                let mut ids: Vec<u64> = self.queue.iter().map(|p| p.session).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                for id in ids {
+                    if let Some(session) = self.sessions.get(&id) {
+                        starved.push((id, Arc::clone(&session.writer)));
+                    }
+                }
+                self.starved_since = None; // re-arm for any later backlog
+            }
+        }
+        (plans, closes, starved)
+    }
+}
+
+/// A running dispatcher: listeners, scheduler, and connection threads.
+/// Dropping it shuts everything down.
+pub struct Farmd {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    endpoints: Vec<Endpoint>,
+}
+
+impl Farmd {
+    /// Bind every endpoint and start serving. TCP endpoints may use port
+    /// `0`; the resolved endpoints are available from
+    /// [`Self::endpoints`].
+    ///
+    /// # Errors
+    /// Any `bind(2)` failure.
+    pub fn bind(endpoints: &[Endpoint], opts: FarmdOptions) -> std::io::Result<Farmd> {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                registry: Registry::new(opts.deadline),
+                worker_writers: BTreeMap::new(),
+                sessions: BTreeMap::new(),
+                next_session: 1,
+                queue: VecDeque::new(),
+                inflight_jobs: BTreeMap::new(),
+                starved_since: None,
+                requeues: 0,
+                completed: 0,
+            }),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            opts,
+        });
+        let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        let mut bound = Vec::new();
+        for endpoint in endpoints {
+            let listener = FarmListener::bind(endpoint)?;
+            bound.push(listener.local_endpoint()?);
+            let shared_ = Arc::clone(&shared);
+            let conns = Arc::clone(&conn_threads);
+            threads.push(std::thread::spawn(move || accept_loop(&shared_, &listener, &conns)));
+        }
+        let shared_ = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || scheduler_loop(&shared_)));
+        Ok(Farmd { shared, threads, conn_threads, endpoints: bound })
+    }
+
+    /// The endpoints actually bound (ephemeral TCP ports resolved), in
+    /// the order given to [`Self::bind`].
+    #[must_use]
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Snapshot the dispatcher's state.
+    #[must_use]
+    pub fn stats(&self) -> FarmdStats {
+        let inner = self.shared.inner.lock().expect("farmd lock");
+        FarmdStats {
+            workers: inner.registry.len(),
+            ready: inner.registry.ready_count(),
+            sessions: inner.sessions.len(),
+            queued: inner.queue.len(),
+            inflight: inner.registry.inflight_total(),
+            requeues: inner.requeues,
+            completed: inner.completed,
+        }
+    }
+
+    /// Block until at least `n` workers are ready or `timeout` elapses;
+    /// returns whether the fleet reached `n`.
+    #[must_use]
+    pub fn wait_workers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.stats().ready >= n {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stop serving: flag every thread down, say goodbye to workers and
+    /// clients, close their sockets, and join all threads.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return; // second call
+        }
+        self.shared.wake.notify_all();
+        // Goodbyes unblock peers promptly; the socket shutdowns unblock
+        // our own reader threads.
+        let (workers, clients) = {
+            let inner = self.shared.inner.lock().expect("farmd lock");
+            (
+                inner.worker_writers.values().cloned().collect::<Vec<_>>(),
+                inner.sessions.values().map(|s| Arc::clone(&s.writer)).collect::<Vec<_>>(),
+            )
+        };
+        for writer in workers.iter().chain(&clients) {
+            let mut w = writer.lock().expect("writer lock");
+            let _ = w.send(&Message::Goodbye { reason: "dispatcher shutting down".to_owned() });
+            w.shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn threads lock"));
+        for t in conns {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Farmd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept connections until the stop flag rises, handing each to its own
+/// reader thread.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &FarmListener,
+    conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let label = listener.local_endpoint().map_or_else(|_| "?".to_owned(), |e| e.to_string());
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.poll_accept() {
+            Ok(Some(stream)) => {
+                let shared_ = Arc::clone(shared);
+                let peer = label.clone();
+                let handle = std::thread::spawn(move || conn::serve_conn(&shared_, stream, &peer));
+                conn_threads.lock().expect("conn threads lock").push(handle);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                eprintln!("petal-farmd: accept on {label} failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Assign and expire until the stop flag rises. All socket writes happen
+/// with the global lock released.
+fn scheduler_loop(shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let (plans, closes, starved) = {
+            let mut inner = shared.inner.lock().expect("farmd lock");
+            let (plans, closes, starved) = inner.plan(Instant::now(), shared.opts.starvation);
+            if plans.is_empty() && closes.is_empty() && starved.is_empty() {
+                // Idle: sleep until state changes or the poll period
+                // bounds how stale expiry checks can get.
+                let _unused =
+                    shared.wake.wait_timeout(inner, shared.opts.poll).expect("farmd lock");
+                continue;
+            }
+            (plans, closes, starved)
+        };
+        for (id, writer) in closes {
+            let mut w = writer.lock().expect("writer lock");
+            let _ = w.send(&Message::Goodbye { reason: "heartbeat deadline missed".to_owned() });
+            w.shutdown();
+            drop(w);
+            // The reader thread will observe the close and finish the
+            // teardown (registry removal) via lose_worker.
+            let _ = id;
+        }
+        for (session, writer) in starved {
+            {
+                let mut w = writer.lock().expect("writer lock");
+                let _ = w.send(&Message::Goodbye {
+                    reason: "no workers available for queued jobs".to_owned(),
+                });
+                w.shutdown();
+            }
+            shared.close_session(session, "starved: no workers available");
+        }
+        for plan in plans {
+            let ok = {
+                let mut w = plan.writer.lock().expect("writer lock");
+                plan.msgs.iter().all(|m| w.send(m).is_ok())
+            };
+            if !ok {
+                shared.lose_worker(plan.worker, "write failed", false);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The `petal-farmd` binary: bind the dispatcher and serve until killed.
+
+use petal_farm::net::Endpoint;
+use petal_farmd::{Farmd, FarmdOptions};
+use std::time::Duration;
+
+const USAGE: &str = "usage: petal-farmd --listen <endpoint> [--listen <endpoint> ...] \
+                     [--deadline-ms <ms>]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("petal-farmd: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut endpoints = Vec::new();
+    let mut opts = FarmdOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |what: &str| args.next().unwrap_or_else(|| fail(&format!("{what} needs a value")));
+        match flag.as_str() {
+            "--listen" => match Endpoint::parse(&value("--listen")) {
+                Ok(e) => endpoints.push(e),
+                Err(e) => fail(&e),
+            },
+            "--deadline-ms" => match value("--deadline-ms").parse() {
+                Ok(ms) => opts.deadline = Duration::from_millis(ms),
+                Err(_) => fail("--deadline-ms needs an integer"),
+            },
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    if endpoints.is_empty() {
+        fail("at least one --listen endpoint is required");
+    }
+    match Farmd::bind(&endpoints, opts) {
+        Ok(farmd) => {
+            for e in farmd.endpoints() {
+                eprintln!("petal-farmd: listening on {e}");
+            }
+            // Serve until killed; the daemon has no other exit path.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("petal-farmd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The dispatcher's worker registry: a small, fully synchronous state
+//! machine over the live worker fleet.
+//!
+//! Everything time-dependent takes `now` as a parameter, so the state
+//! machine is deterministic and directly unit-testable — the connection
+//! and scheduler layers own the clock.
+//!
+//! ## Worker lifecycle
+//!
+//! ```text
+//! REGISTER ──▶ Ready ──(heartbeat deadline missed)──▶ Draining ──▶ removed
+//!                │                                       ▲
+//!                └────(GOODBYE / connection lost)────────┘
+//! ```
+//!
+//! `Ready` workers accept assignments; `Draining` workers are waiting for
+//! their connection to be torn down and get nothing new — any `RESULT`
+//! they still deliver is stale (the job was already re-queued) and is
+//! dropped. A worker that comes back **rejoins as a fresh registration**
+//! with a new id; ids are never reused, so a stale socket can never be
+//! confused with its successor.
+//!
+//! ## Why dropping duplicates is sound
+//!
+//! Jobs are pure functions of their [`petal_farm::EvalJob`], so a job
+//! evaluated twice (a re-queue racing the original worker's late answer,
+//! or a duplicated frame from a flaky link) produces byte-identical
+//! outcomes — the registry only has to make sure exactly **one** copy is
+//! forwarded, which the per-worker FIFO plus [`Ack`] verdicts guarantee.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Identifies one dispatched job: `(session id, submission index)`.
+pub type JobKey = (u64, u64);
+
+/// Liveness state of a registered worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Heartbeating and eligible for assignments.
+    Ready,
+    /// Missed its heartbeat deadline (or said goodbye); its inflight jobs
+    /// are re-queued and its connection is being torn down.
+    Draining,
+}
+
+/// Verdict on a `RESULT` arriving from a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ack {
+    /// First answer to the worker's oldest inflight job: forward it.
+    Fresh(JobKey),
+    /// A re-send of the job this worker just answered (duplicated frame):
+    /// drop it, the first copy was forwarded.
+    Duplicate,
+    /// From an unknown or draining worker: the job was already re-queued
+    /// elsewhere, drop it.
+    Stale,
+    /// Out of FIFO order — the worker is violating the protocol; kill it
+    /// and re-queue everything it held.
+    Disorder,
+}
+
+/// One registered worker.
+#[derive(Debug)]
+pub struct WorkerEntry {
+    /// Operator-facing name from `REGISTER`.
+    pub name: String,
+    /// Jobs the dispatcher may keep in flight here.
+    pub slots: usize,
+    /// Worker process id (diagnostics only).
+    pub pid: u64,
+    /// Liveness state.
+    pub state: WorkerState,
+    /// Last time any traffic arrived from this worker.
+    pub last_seen: Instant,
+    /// Session this worker was last `INIT`ed into, if any.
+    pub session: Option<u64>,
+    /// Assigned-but-unanswered jobs, oldest first (workers answer in
+    /// arrival order, so `RESULT`s must match this FIFO's front).
+    pub inflight: VecDeque<JobKey>,
+    /// The job this worker most recently answered, for duplicate
+    /// detection.
+    pub last_done: Option<JobKey>,
+    /// Jobs answered (diagnostics/stats).
+    pub served: u64,
+}
+
+/// The worker fleet, keyed by registration id. `BTreeMap` keeps every
+/// iteration (picking, expiry, stats) in deterministic id order.
+#[derive(Debug)]
+pub struct Registry {
+    deadline: Duration,
+    next_id: u64,
+    workers: BTreeMap<u64, WorkerEntry>,
+}
+
+impl Registry {
+    /// New registry with the given heartbeat deadline: a worker silent
+    /// for longer than this is drained.
+    #[must_use]
+    pub fn new(deadline: Duration) -> Self {
+        Registry { deadline, next_id: 1, workers: BTreeMap::new() }
+    }
+
+    /// Admit a worker, returning its fresh id (ids are never reused).
+    pub fn register(&mut self, name: &str, slots: u64, pid: u64, now: Instant) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.workers.insert(
+            id,
+            WorkerEntry {
+                name: name.to_owned(),
+                slots: usize::try_from(slots.max(1)).unwrap_or(usize::MAX),
+                pid,
+                state: WorkerState::Ready,
+                last_seen: now,
+                session: None,
+                inflight: VecDeque::new(),
+                last_done: None,
+                served: 0,
+            },
+        );
+        id
+    }
+
+    /// Record liveness for `id` (any traffic counts, not just
+    /// `HEARTBEAT`s). Returns `false` for unknown workers.
+    pub fn touch(&mut self, id: u64, now: Instant) -> bool {
+        match self.workers.get_mut(&id) {
+            Some(w) => {
+                w.last_seen = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain every `Ready` worker whose heartbeat deadline has lapsed.
+    /// Returns `(id, re-queue list)` per drained worker; the caller owns
+    /// re-dispatching the jobs and closing the connection.
+    pub fn expire(&mut self, now: Instant) -> Vec<(u64, Vec<JobKey>)> {
+        let mut drained = Vec::new();
+        for (&id, w) in &mut self.workers {
+            if w.state == WorkerState::Ready && now.duration_since(w.last_seen) > self.deadline {
+                w.state = WorkerState::Draining;
+                drained.push((id, w.inflight.drain(..).collect()));
+            }
+        }
+        drained
+    }
+
+    /// Forget `id` entirely (connection torn down), returning any jobs it
+    /// still held for re-queueing. Idempotent: unknown ids return empty.
+    pub fn remove(&mut self, id: u64) -> Vec<JobKey> {
+        self.workers.remove(&id).map(|mut w| w.inflight.drain(..).collect()).unwrap_or_default()
+    }
+
+    /// Record that `key` was sent to worker `id`.
+    ///
+    /// # Panics
+    /// When `id` is unknown — assignments only target workers picked from
+    /// this registry under the same lock.
+    pub fn assign(&mut self, id: u64, key: JobKey) {
+        self.workers
+            .get_mut(&id)
+            .expect("assigning to a registered worker")
+            .inflight
+            .push_back(key);
+    }
+
+    /// Record that worker `id` was `INIT`ed into `session`.
+    pub fn set_session(&mut self, id: u64, session: u64) {
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.session = Some(session);
+        }
+    }
+
+    /// The session worker `id` currently serves, if known.
+    #[must_use]
+    pub fn session(&self, id: u64) -> Option<u64> {
+        self.workers.get(&id).and_then(|w| w.session)
+    }
+
+    /// Judge a `RESULT` for job index `index` arriving from worker `id`
+    /// (workers echo the index they were sent; the session half of the
+    /// key comes from the FIFO).
+    pub fn complete(&mut self, id: u64, index: u64) -> Ack {
+        let Some(w) = self.workers.get_mut(&id) else {
+            return Ack::Stale;
+        };
+        if w.state == WorkerState::Draining {
+            return Ack::Stale;
+        }
+        match w.inflight.front() {
+            Some(&(_, front)) if front == index => {
+                let key = w.inflight.pop_front().expect("front exists");
+                w.last_done = Some(key);
+                w.served += 1;
+                Ack::Fresh(key)
+            }
+            _ if w.last_done.is_some_and(|(_, i)| i == index) => Ack::Duplicate,
+            Some(_) => Ack::Disorder,
+            None => Ack::Disorder,
+        }
+    }
+
+    /// Choose a worker for a job of `session`: `Ready` with a free slot,
+    /// preferring workers already `INIT`ed into that session (no
+    /// re-handshake), then the least loaded, then the lowest id — a total
+    /// order, so scheduling is deterministic given the same fleet state.
+    #[must_use]
+    pub fn pick(&self, session: u64) -> Option<u64> {
+        self.workers
+            .iter()
+            .filter(|(_, w)| w.state == WorkerState::Ready && w.inflight.len() < w.slots)
+            .min_by_key(|(&id, w)| (usize::from(w.session != Some(session)), w.inflight.len(), id))
+            .map(|(&id, _)| id)
+    }
+
+    /// Workers currently `Ready`.
+    #[must_use]
+    pub fn ready_count(&self) -> usize {
+        self.workers.values().filter(|w| w.state == WorkerState::Ready).count()
+    }
+
+    /// All registered workers (both states).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether no workers are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Jobs currently assigned and unanswered, fleet-wide.
+    #[must_use]
+    pub fn inflight_total(&self) -> usize {
+        self.workers.values().map(|w| w.inflight.len()).sum()
+    }
+
+    /// Read access to one worker's entry (stats, logs, tests).
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&WorkerEntry> {
+        self.workers.get(&id)
+    }
+
+    /// Registered ids in ascending order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        self.workers.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> (Registry, Instant) {
+        (Registry::new(Duration::from_millis(100)), Instant::now())
+    }
+
+    /// The satellite's lifecycle walk: register → heartbeat lapse →
+    /// drain (jobs re-queued) → rejoin as a fresh id.
+    #[test]
+    fn register_lapse_drain_rejoin() {
+        let (mut r, t0) = reg();
+        let w = r.register("rack1", 2, 111, t0);
+        assert_eq!(r.ready_count(), 1);
+        r.assign(w, (7, 0));
+        r.assign(w, (7, 1));
+
+        // Heartbeats inside the deadline keep it Ready.
+        let t1 = t0 + Duration::from_millis(80);
+        assert!(r.touch(w, t1));
+        assert!(r.expire(t1 + Duration::from_millis(90)).is_empty());
+
+        // Silence past the deadline drains it and surrenders its jobs in
+        // FIFO order.
+        let t2 = t1 + Duration::from_millis(150);
+        let drained = r.expire(t2);
+        assert_eq!(drained, vec![(w, vec![(7, 0), (7, 1)])]);
+        assert_eq!(r.get(w).expect("still listed").state, WorkerState::Draining);
+        assert_eq!(r.ready_count(), 0);
+        // Draining workers take no assignments and their late answers are
+        // stale.
+        assert_eq!(r.pick(7), None);
+        assert_eq!(r.complete(w, 0), Ack::Stale);
+        // A second expiry pass is a no-op (no double re-queue).
+        assert!(r.expire(t2 + Duration::from_millis(500)).is_empty());
+
+        // Teardown forgets it; rejoin gets a fresh id with clean state.
+        assert!(r.remove(w).is_empty(), "drain already surrendered the jobs");
+        let w2 = r.register("rack1", 2, 112, t2);
+        assert_ne!(w, w2, "ids are never reused");
+        assert_eq!(r.ready_count(), 1);
+        assert_eq!(r.get(w2).expect("rejoined").inflight.len(), 0);
+    }
+
+    #[test]
+    fn complete_verdicts_cover_fresh_duplicate_stale_and_disorder() {
+        let (mut r, t0) = reg();
+        let w = r.register("w", 4, 1, t0);
+        r.assign(w, (1, 10));
+        r.assign(w, (1, 11));
+
+        // In order: fresh, and the key carries the session half.
+        assert_eq!(r.complete(w, 10), Ack::Fresh((1, 10)));
+        // Same index again: a duplicated frame, dropped.
+        assert_eq!(r.complete(w, 10), Ack::Duplicate);
+        // Out of FIFO order (or answering a job never sent): disorder.
+        assert_eq!(r.complete(w, 99), Ack::Disorder);
+        // Unknown worker: stale.
+        assert_eq!(r.complete(424_242, 10), Ack::Stale);
+        // An answer with nothing inflight and no matching last_done.
+        assert_eq!(r.complete(w, 11), Ack::Fresh((1, 11)));
+        assert_eq!(r.complete(w, 12), Ack::Disorder);
+        assert_eq!(r.get(w).expect("w").served, 2);
+    }
+
+    #[test]
+    fn pick_prefers_affinity_then_load_then_id() {
+        let (mut r, t0) = reg();
+        let a = r.register("a", 2, 1, t0);
+        let b = r.register("b", 2, 2, t0);
+        let c = r.register("c", 2, 3, t0);
+
+        // All idle, none affine: lowest id.
+        assert_eq!(r.pick(5), Some(a));
+        // Affinity wins over load.
+        r.set_session(c, 5);
+        r.assign(c, (5, 0));
+        assert_eq!(r.pick(5), Some(c), "affine worker preferred despite load");
+        // …until it is full.
+        r.assign(c, (5, 1));
+        assert_eq!(r.pick(5), Some(a), "full affine worker skipped");
+        // Load breaks ties among the rest.
+        r.assign(a, (5, 2));
+        assert_eq!(r.pick(5), Some(b));
+        // Full fleet: nothing to pick.
+        r.assign(b, (5, 3));
+        r.assign(a, (5, 4));
+        r.assign(b, (5, 5));
+        assert_eq!(r.pick(5), None);
+        assert_eq!(r.inflight_total(), 6);
+    }
+
+    #[test]
+    fn remove_returns_outstanding_jobs_for_requeue() {
+        let (mut r, t0) = reg();
+        let w = r.register("w", 8, 1, t0);
+        r.assign(w, (2, 4));
+        r.assign(w, (2, 5));
+        assert_eq!(r.complete(w, 4), Ack::Fresh((2, 4)));
+        assert_eq!(r.remove(w), vec![(2, 5)]);
+        assert!(r.is_empty());
+        assert_eq!(r.remove(w), Vec::<JobKey>::new(), "idempotent");
+    }
+}

@@ -1,0 +1,213 @@
+//! Dispatcher protocol tests over raw sockets: handshake hardening
+//! (version skew and confusion answered with GOODBYE diagnostics, never
+//! parse errors or silent closes), client session bring-up, and elastic
+//! workers joining after jobs are already queued.
+
+use petal_apps::Benchmark;
+use petal_farm::net::{Endpoint, FarmStream};
+use petal_farm::wire::{Message, WIRE_VERSION};
+use petal_farm::{job_seed, EvalJob};
+use petal_farmd::{Farmd, FarmdOptions};
+use petal_gpu::profile::MachineProfile;
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// One raw protocol peer: line-in/line-out over a connected socket.
+struct Peer {
+    reader: BufReader<FarmStream>,
+    writer: FarmStream,
+}
+
+impl Peer {
+    fn connect(endpoint: &Endpoint) -> Peer {
+        let stream = FarmStream::connect_retry(endpoint, Duration::from_secs(5)).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let writer = stream.try_clone().expect("clone");
+        Peer { reader: BufReader::new(stream), writer }
+    }
+
+    fn send(&mut self, msg: &Message) {
+        let mut line = msg.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send");
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send raw");
+    }
+
+    /// Read one message; panics on EOF or timeout (tests expect answers).
+    fn recv(&mut self) -> Message {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "peer closed without the expected message");
+        Message::decode(line.trim_end_matches('\n')).expect("decodes")
+    }
+
+    /// Read until EOF, expecting no further messages.
+    fn expect_eof(&mut self) {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv at eof");
+        assert_eq!(n, 0, "expected EOF, got `{line}`");
+    }
+}
+
+fn dispatcher() -> Farmd {
+    Farmd::bind(
+        &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+        FarmdOptions { deadline: Duration::from_millis(500), ..FarmdOptions::default() },
+    )
+    .expect("bind")
+}
+
+#[test]
+fn version_skew_is_a_goodbye_diagnostic_not_a_parse_error() {
+    let farmd = dispatcher();
+    let ep = farmd.endpoints()[0].clone();
+
+    // A future peer whose range does not overlap ours: the HELLO decodes
+    // (fields 0 and 1 are frozen), negotiation fails, and the reply names
+    // both ranges.
+    let mut peer = Peer::connect(&ep);
+    peer.send(&Message::Hello { min_version: WIRE_VERSION + 7, max_version: WIRE_VERSION + 9 });
+    match peer.recv() {
+        Message::Hello { .. } => {}
+        other => panic!("expected the dispatcher's HELLO, got {other:?}"),
+    }
+    match peer.recv() {
+        Message::Goodbye { reason } => {
+            assert!(reason.contains("no common wire version"), "{reason}");
+            assert!(
+                reason.contains(&format!("{}..={}", WIRE_VERSION + 7, WIRE_VERSION + 9)),
+                "{reason}"
+            );
+        }
+        other => panic!("expected GOODBYE, got {other:?}"),
+    }
+    peer.expect_eof();
+}
+
+#[test]
+fn handshake_confusion_is_answered_with_goodbye() {
+    let farmd = dispatcher();
+    let ep = farmd.endpoints()[0].clone();
+
+    // Garbage instead of HELLO.
+    let mut peer = Peer::connect(&ep);
+    peer.send_raw("NOT A WIRE RECORD AT ALL\n");
+    match peer.recv() {
+        Message::Goodbye { reason } => assert!(reason.contains("bad HELLO"), "{reason}"),
+        other => panic!("expected GOODBYE, got {other:?}"),
+    }
+
+    // A legal message that is neither REGISTER nor INIT after HELLO.
+    let mut peer = Peer::connect(&ep);
+    peer.send(&Message::hello());
+    let _their_hello = peer.recv();
+    peer.send(&Message::Heartbeat { seq: 0 });
+    match peer.recv() {
+        Message::Goodbye { reason } => {
+            assert!(reason.contains("expected REGISTER or INIT"), "{reason}");
+            assert!(reason.contains("HEARTBEAT"), "{reason}");
+        }
+        other => panic!("expected GOODBYE, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_benchmark_specs_bounce_the_client_not_the_fleet() {
+    let farmd = dispatcher();
+    let ep = farmd.endpoints()[0].clone();
+    let mut client = Peer::connect(&ep);
+    client.send(&Message::hello());
+    let _their_hello = client.recv();
+    client.send(&Message::Init {
+        version: WIRE_VERSION,
+        bench_spec: "warp10 n=64".to_owned(),
+        machine: Box::new(MachineProfile::laptop()),
+    });
+    match client.recv() {
+        Message::Goodbye { reason } => {
+            assert!(reason.contains("bad benchmark spec"), "{reason}");
+        }
+        other => panic!("expected GOODBYE, got {other:?}"),
+    }
+    assert_eq!(farmd.stats().sessions, 0, "no session opened");
+}
+
+/// The elastic-join path: a client queues jobs against an empty fleet; a
+/// worker that registers afterwards receives the backlog (INIT first,
+/// then the jobs), and its answers are relayed to the client keyed by
+/// submission index.
+#[test]
+fn workers_joining_after_jobs_queue_drain_the_backlog() {
+    let bench = petal_apps::blackscholes::BlackScholes::new(1_000);
+    let machine = MachineProfile::laptop();
+    let config = bench.program(&machine).default_config(&machine);
+    let jobs: Vec<EvalJob> = (0..4)
+        .map(|i| EvalJob {
+            config: config.clone(),
+            size: bench.input_size(),
+            engine_seed: job_seed(11, 0, i),
+        })
+        .collect();
+
+    let farmd = dispatcher();
+    let ep = farmd.endpoints()[0].clone();
+
+    // Client first: session opens and jobs queue with zero workers.
+    let mut client = Peer::connect(&ep);
+    client.send(&Message::hello());
+    let _their_hello = client.recv();
+    client.send(&Message::Init {
+        version: WIRE_VERSION,
+        bench_spec: bench.spec(),
+        machine: Box::new(machine.clone()),
+    });
+    assert_eq!(client.recv(), Message::Ready { version: WIRE_VERSION });
+    for (i, job) in jobs.iter().enumerate() {
+        client.send(&Message::Job { index: i as u64, job: job.clone() });
+    }
+
+    // Worker joins late and hand-serves the protocol.
+    let mut worker = Peer::connect(&ep);
+    worker.send(&Message::hello());
+    let _their_hello = worker.recv();
+    worker.send(&Message::Register { name: "late-joiner".to_owned(), slots: 2, pid: 1 });
+    let mut served = 0usize;
+    let mut session: Option<(Box<dyn Benchmark>, MachineProfile)> = None;
+    while served < jobs.len() {
+        match worker.recv() {
+            Message::Init { bench_spec, machine, .. } => {
+                let b = petal_apps::benchmark_from_spec(&bench_spec).expect("spec");
+                session = Some((b, *machine));
+            }
+            Message::Job { index, job } => {
+                let (b, m) = session.as_ref().expect("INIT before JOB");
+                let outcome = petal_farm::evaluate_job(&**b, m, &job);
+                worker.send(&Message::Result { index, outcome });
+                worker.send(&Message::Heartbeat { seq: served as u64 });
+                served += 1;
+            }
+            other => panic!("unexpected {other:?} at the worker"),
+        }
+    }
+
+    // The client collects all four answers (any order), index-keyed.
+    let mut got = vec![false; jobs.len()];
+    for _ in 0..jobs.len() {
+        match client.recv() {
+            Message::Result { index, outcome } => {
+                let expected = petal_farm::evaluate_job(&bench, &machine, &jobs[index as usize]);
+                assert_eq!(outcome, expected, "job {index}");
+                got[index as usize] = true;
+            }
+            other => panic!("unexpected {other:?} at the client"),
+        }
+    }
+    assert!(got.iter().all(|&g| g), "every job answered exactly once");
+    let stats = farmd.stats();
+    assert_eq!(stats.completed, jobs.len() as u64);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.inflight, 0);
+}

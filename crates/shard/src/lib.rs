@@ -15,8 +15,14 @@
 
 #![warn(missing_docs)]
 
+pub mod remote;
+
+pub use remote::{serve_remote, RemoteOptions};
+
 use petal_apps::{benchmark_from_spec, Benchmark};
-use petal_farm::wire::{Message, Record, WireEncoder, WIRE_VERSION};
+use petal_farm::wire::{
+    version_supported, Message, Record, WireEncoder, MIN_WIRE_VERSION, WIRE_VERSION,
+};
 use petal_gpu::profile::MachineProfile;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -37,7 +43,7 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-fn err(message: impl Into<String>) -> ServeError {
+pub(crate) fn err(message: impl Into<String>) -> ServeError {
     ServeError { message: message.into() }
 }
 
@@ -101,25 +107,29 @@ pub fn serve(mut input: impl BufRead, mut output: impl Write) -> Result<(), Serv
     let record = Record::parse(&first).map_err(|e| err(e.to_string()))?;
     if record.tag == "INIT" {
         match record.fields.first().map(|v| v.parse::<u64>()) {
-            Some(Ok(version)) if version != WIRE_VERSION => {
+            Some(Ok(version)) if !version_supported(version) => {
                 return Err(err(format!(
-                    "parent speaks wire version {version}, worker speaks {WIRE_VERSION}"
+                    "parent speaks wire version {version}, worker speaks \
+                     {MIN_WIRE_VERSION}..={WIRE_VERSION}"
                 )));
             }
             Some(Ok(_)) => {}
             _ => return Err(err("INIT carries no parseable wire version")),
         }
     }
-    let (bench, machine): (Box<dyn Benchmark>, MachineProfile) =
+    let (version, bench, machine): (u64, Box<dyn Benchmark>, MachineProfile) =
         match Message::decode(&first).map_err(|e| err(e.to_string()))? {
-            Message::Init { bench_spec, machine, .. } => {
+            Message::Init { version, bench_spec, machine } => {
                 let bench = benchmark_from_spec(&bench_spec)
                     .map_err(|e| err(format!("bad benchmark spec `{bench_spec}`: {e}")))?;
-                (bench, *machine)
+                (version, bench, *machine)
             }
             other => return Err(err(format!("expected INIT, got {other:?}"))),
         };
-    bufs.send(&mut output, &Message::Ready { version: WIRE_VERSION })?;
+    // Echo the parent's version: an older parent checks for its own
+    // version in READY, and every version this build accepts is one it
+    // can serve (newer versions are pure supersets on the pipe records).
+    bufs.send(&mut output, &Message::Ready { version })?;
 
     while bufs.recv_line(&mut input)? {
         match Message::decode(&bufs.line_in).map_err(|e| err(e.to_string()))? {
@@ -210,9 +220,10 @@ mod tests {
         // A future INIT layout this worker cannot decode must still
         // produce the version-skew diagnostic, not a framing error:
         // version is field 0 and is checked before full decode.
-        let e = serve("INIT 1:2 7:future!\n".as_bytes(), &mut Vec::new())
+        let future = WIRE_VERSION + 1;
+        let e = serve(format!("INIT 1:{future} 7:future!\n").as_bytes(), &mut Vec::new())
             .expect_err("skew with unknown layout");
-        assert!(e.message.contains("wire version 2"), "{e}");
+        assert!(e.message.contains(&format!("wire version {future}")), "{e}");
 
         let bad_spec = Message::Init {
             version: WIRE_VERSION,
@@ -222,5 +233,23 @@ mod tests {
         let e = serve(format!("{}\n", bad_spec.encode()).as_bytes(), &mut Vec::new())
             .expect_err("unknown spec");
         assert!(e.message.contains("bad benchmark spec"), "{e}");
+    }
+
+    /// A v1 parent still gets served — v2 is a pure superset on the pipe
+    /// records — and READY echoes the *parent's* version so the old
+    /// parent's equality check passes.
+    #[test]
+    fn older_wire_versions_are_served_and_echoed() {
+        let init = Message::Init {
+            version: MIN_WIRE_VERSION,
+            bench_spec: "sort n=64".to_owned(),
+            machine: Box::new(MachineProfile::laptop()),
+        };
+        let session = format!("{}\n{}\n", init.encode(), Message::Done.encode());
+        let mut out = Vec::new();
+        serve(session.as_bytes(), &mut out).expect("v1 session succeeds");
+        let first = String::from_utf8(out).expect("utf8");
+        let reply = Message::decode(first.lines().next().expect("one reply")).expect("decodes");
+        assert_eq!(reply, Message::Ready { version: MIN_WIRE_VERSION });
     }
 }

@@ -1,0 +1,115 @@
+//! Soak test (opt-in: `PETAL_SOAK=1`): hammer one dispatcher with
+//! thousands of jobs from several concurrent client sessions, served by
+//! a mixed TCP + unix-domain worker pool that churns mid-run — one
+//! worker dies, a replacement joins late. Every session's results must
+//! be bit-identical to its own in-process run.
+
+use petal_apps::blackscholes::BlackScholes;
+use petal_apps::Benchmark;
+use petal_farm::net::Endpoint;
+use petal_farm::{job_seed, EvalFarm, EvalJob, FarmSettings};
+use petal_gpu::profile::MachineProfile;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct WorkerGuard(Child);
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_worker(endpoint: &Endpoint, name: &str, fail_after: Option<u64>) -> WorkerGuard {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_petal-shard"));
+    cmd.arg("--connect")
+        .arg(endpoint.to_string())
+        .arg("--name")
+        .arg(name)
+        .arg("--heartbeat-ms")
+        .arg("100")
+        .stdin(Stdio::null());
+    if let Some(n) = fail_after {
+        cmd.arg("--fail-after").arg(n.to_string());
+    }
+    WorkerGuard(cmd.spawn().expect("spawn petal-shard --connect"))
+}
+
+#[test]
+fn soak_thousands_of_jobs_through_a_churning_mixed_pool() {
+    if std::env::var("PETAL_SOAK").ok().as_deref() != Some("1") {
+        eprintln!("skipping soak test (set PETAL_SOAK=1 to run)");
+        return;
+    }
+    const JOBS_PER_SESSION: u64 = 1_000;
+    const SESSIONS: u64 = 3;
+
+    let sock = std::env::temp_dir().join(format!("petal-soak-{}.sock", std::process::id()));
+    let farmd = petal_farmd::Farmd::bind(
+        &[Endpoint::Tcp("127.0.0.1:0".to_owned()), Endpoint::Unix(sock)],
+        petal_farmd::FarmdOptions::default(),
+    )
+    .expect("bind dispatcher");
+    let tcp = farmd.endpoints()[0].clone();
+    let unix = farmd.endpoints()[1].clone();
+
+    // Mixed pool: two TCP workers (one doomed mid-run), two unix
+    // workers, and a late TCP replacement.
+    let mut guards = vec![
+        spawn_worker(&tcp, "tcp-doomed", Some(50)),
+        spawn_worker(&tcp, "tcp-b", None),
+        spawn_worker(&unix, "unix-a", None),
+        spawn_worker(&unix, "unix-b", None),
+    ];
+    assert!(farmd.wait_workers(4, Duration::from_secs(15)), "pool registered");
+    let tcp_ = tcp.clone();
+    let late = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(500));
+        spawn_worker(&tcp_, "tcp-late", None)
+    });
+
+    // Each session tunes a distinct benchmark so workers re-INIT as they
+    // bounce between sessions. Sessions run concurrently from their own
+    // threads and check against their own in-process reference.
+    let machine = MachineProfile::laptop();
+    let clients: Vec<_> = (0..SESSIONS)
+        .map(|s| {
+            let endpoint = if s % 2 == 0 { tcp.to_string() } else { unix.to_string() };
+            let machine = machine.clone();
+            std::thread::spawn(move || {
+                let bench = BlackScholes::new(256 + 128 * usize::try_from(s).expect("small"));
+                let config = bench.program(&machine).default_config(&machine);
+                let jobs: Vec<EvalJob> = (0..JOBS_PER_SESSION)
+                    .map(|i| EvalJob {
+                        config: config.clone(),
+                        size: bench.input_size(),
+                        engine_seed: job_seed(100 + s, 0, i),
+                    })
+                    .collect();
+                let expected = EvalFarm::new(&FarmSettings::sequential(), false)
+                    .evaluate(&bench, &machine, &jobs);
+                let got = EvalFarm::new(&FarmSettings::remote(endpoint), false)
+                    .evaluate(&bench, &machine, &jobs);
+                assert_eq!(got.len(), expected.len(), "session {s}");
+                for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                    assert_eq!(g.fitness, e.fitness, "session {s} job {i}");
+                    assert_eq!(g.compile_secs, e.compile_secs, "session {s} job {i}");
+                    assert_eq!(g.trial_secs, e.trial_secs, "session {s} job {i}");
+                    assert_eq!(g.ran, e.ran, "session {s} job {i}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("session thread");
+    }
+    guards.push(late.join().expect("late worker spawned"));
+
+    let stats = farmd.stats();
+    assert_eq!(stats.completed, SESSIONS * JOBS_PER_SESSION, "every job answered once");
+    assert!(stats.requeues > 0, "the doomed worker's death caused re-queues");
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.inflight, 0);
+    drop(guards);
+}
