@@ -50,6 +50,31 @@ PETAL_FARMD="unix:$FARMD_SOCK" ./target/release/fig7_migration scholes >/dev/nul
 kill "$FARMD_PID" 2>/dev/null || true
 wait "$FARMD_PID" 2>/dev/null || true
 
+echo "== registry smoke (tune -> put -> migrate -> warm-start get -> repair curve)"
+# fig7 with --registry stores every native tune and prints the
+# repair-curve table; the parity@gen cells only appear when a
+# warm-started re-tune actually closed the migration gap. Then the CLI
+# round-trip: ls must list the stored machines and get must hand back a
+# config file a warm start could consume.
+REG_DIR="$(mktemp -d /tmp/petal-registry-ci.XXXXXX)"
+trap 'rm -rf "$REG_DIR"; kill "$FARMD_PID" "$WORKER_B_PID" 2>/dev/null || true; rm -f "$FARMD_SOCK"' EXIT
+# (Pipelines into early-exiting greps would SIGPIPE the binaries under
+# pipefail, so every step writes to a file first.)
+PETAL_SMOKE=1 ./target/release/fig7_migration scholes --registry "$REG_DIR" >"$REG_DIR/fig7.out"
+grep -q 'parity@gen' "$REG_DIR/fig7.out" \
+  || { echo "registry smoke: no parity@gen cell in the repair table"; exit 1; }
+./target/release/petal-registry ls --registry "$REG_DIR" >"$REG_DIR/ls.out"
+grep -q 'machine=Desktop' "$REG_DIR/ls.out" \
+  || { echo "registry smoke: Desktop entry missing from ls"; exit 1; }
+REG_SPEC="$(sed -n 's/.*spec="\([^"]*\)".*/\1/p' "$REG_DIR/ls.out" | sort -u)"
+./target/release/petal-registry get --registry "$REG_DIR" \
+  --machine desktop --spec "$REG_SPEC" >"$REG_DIR/got.cfg" 2>"$REG_DIR/got.meta"
+grep -q 'selector' "$REG_DIR/got.cfg" \
+  || { echo "registry smoke: get did not return a config file"; exit 1; }
+grep -q 'tier=exact' "$REG_DIR/got.meta" \
+  || { echo "registry smoke: desktop get was not an exact hit"; exit 1; }
+rm -rf "$REG_DIR"
+
 echo "== farmd soak (PETAL_SOAK=1 opt-in: thousands of jobs through a churning mixed pool)"
 if [[ "${PETAL_SOAK:-0}" == "1" ]]; then
   PETAL_SOAK=1 cargo test -q --offline -p petal_shard --test farmd_soak

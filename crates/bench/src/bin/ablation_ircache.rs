@@ -20,6 +20,7 @@ fn main() {
         farm: petal_farm::FarmSettings::host_parallel(),
         kick_after: 2,
         kick_strength: 3,
+        warm_start: None,
     };
     println!("Section 5.4 ablation: SeparableConvolution {n}x{n} on Desktop\n");
 

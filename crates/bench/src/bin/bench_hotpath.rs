@@ -163,6 +163,7 @@ fn measure_tuner(machine: &MachineProfile, bench: &dyn Benchmark) -> Columns {
         farm: petal_farm::FarmSettings::default(),
         kick_after: 2,
         kick_strength: 3,
+        warm_start: None,
     };
     let n = reps(4, 1);
     let mut trials = [0usize; 2];
@@ -228,20 +229,37 @@ fn render(entries: &[Entry]) -> String {
     s
 }
 
-/// Parse the committed table's `(key, speedup)` pairs (flat format
-/// written by [`render`]; no JSON dependency offline).
-fn parse_committed(text: &str) -> Vec<(String, f64)> {
+/// One committed row: key, speedup, and the absolute incremental-column
+/// throughput (the flat-regression guard's reference point).
+struct Committed {
+    key: String,
+    speedup: f64,
+    incremental_per_sec: f64,
+}
+
+/// Pull `"name": <number>` out of one rendered line.
+fn field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\": ");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().ok()
+}
+
+/// Parse the committed table (flat format written by [`render`]; no JSON
+/// dependency offline).
+fn parse_committed(text: &str) -> Vec<Committed> {
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(kstart) = line.find("\"key\": \"") else { continue };
         let rest = &line[kstart + 8..];
         let Some(kend) = rest.find('"') else { continue };
         let key = rest[..kend].to_owned();
-        let Some(sstart) = line.find("\"speedup\": ") else { continue };
-        let srest = &line[sstart + 11..];
-        let send = srest.find([',', '}']).unwrap_or(srest.len());
-        let Ok(v) = srest[..send].trim().parse::<f64>() else { continue };
-        out.push((key, v));
+        let (Some(speedup), Some(incremental_per_sec)) =
+            (field(line, "speedup"), field(line, "incremental_per_sec"))
+        else {
+            continue;
+        };
+        out.push(Committed { key, speedup, incremental_per_sec });
     }
     out
 }
@@ -266,33 +284,55 @@ fn main() {
             let committed = parse_committed(&committed);
             assert_eq!(committed.len(), entries.len(), "row set drifted; rerun with --write");
             let mut lost = 0;
-            for ((key, committed_speedup), got) in committed.iter().zip(&entries) {
-                assert_eq!(key, &got.key, "row order drifted; rerun with --write");
+            for (c, got) in committed.iter().zip(&entries) {
+                assert_eq!(&c.key, &got.key, "row order drifted; rerun with --write");
                 // Generous regression floor: keep a third of the committed
                 // gain (at least 1.05x) so host noise cannot flake CI, but
                 // losing the scheduler speedup outright fails. Rows whose
                 // committed speedup is below 1.2x claim nothing (compute-
                 // bound control rows, noisy tuner rows) and are report-only.
-                let floor = (*committed_speedup >= 1.2)
-                    .then(|| (1.0 + (committed_speedup - 1.0) / 3.0).max(1.05));
+                let floor = (c.speedup >= 1.2).then(|| (1.0 + (c.speedup - 1.0) / 3.0).max(1.05));
                 let live = got.speedup();
                 let ok = !floor.is_some_and(|f| live < f);
                 if !ok {
                     lost += 1;
                 }
                 println!(
-                    "{} {key}: committed speedup {committed_speedup:.2}x, live {live:.2}x \
+                    "{} {}: committed speedup {:.2}x, live {live:.2}x \
                      (floor {}; {:.3e} -> {:.3e} events-or-trials/s)",
                     if ok { "ok  " } else { "LOST" },
+                    c.key,
+                    c.speedup,
                     floor.map_or_else(|| "none".to_owned(), |f| format!("{f:.2}x")),
                     got.naive_per_sec,
                     got.incremental_per_sec,
                 );
+                // Flat-regression guard. The speedup floor above is blind
+                // to a slowdown that hits both scheduler columns equally —
+                // e.g. new per-trial overhead on the tuner path keeps
+                // `tuner_trials_per_sec`'s *ratio* flat while the absolute
+                // trials/sec quietly collapses. Hold the incremental
+                // column to a third of its committed absolute throughput:
+                // far below any plausible host-to-host or noise spread,
+                // but a 3x flat regression fails loudly.
+                let drift_floor = c.incremental_per_sec / 3.0;
+                if got.incremental_per_sec < drift_floor {
+                    lost += 1;
+                    println!(
+                        "DRIFT {}: {} fell to {:.3e}/s, under a third of the committed \
+                         {:.3e}/s — a flat regression the speedup ratio cannot see; if \
+                         this host is really that much slower (or the workload \
+                         intentionally grew), rerun `bench_hotpath --write` on the \
+                         reference host and commit the diff",
+                        c.key, got.metric, got.incremental_per_sec, c.incremental_per_sec,
+                    );
+                }
             }
             assert!(
                 lost == 0,
-                "{lost} hot-path speedups regressed below their floor; if the scheduler \
-                 intentionally changed, rerun `bench_hotpath --write` and commit the diff"
+                "{lost} hot-path row(s) regressed below their floor (LOST) or drifted \
+                 flat (DRIFT); if the scheduler or workloads intentionally changed, \
+                 rerun `bench_hotpath --write` and commit the diff"
             );
             println!("hotpath check passed ({} entries)", entries.len());
         }

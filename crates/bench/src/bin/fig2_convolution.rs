@@ -29,6 +29,7 @@ fn main() {
         farm: harness_farm_settings(),
         kick_after: 1,
         kick_strength: 3,
+        warm_start: None,
     };
     let mut machines = MachineProfile::all();
     if smoke {

@@ -7,19 +7,117 @@
 //! CPU-only (Black-Scholes, Poisson), GPU-only bitonic (Sort), and
 //! hand-coded OpenCL (Convolution, Strassen).
 //!
-//! Usage: `fig7_migration [benchmark-substring] [--full] [--shards N]`
+//! With `--registry <dir>` (or `PETAL_REGISTRY=<dir>`) every native tune
+//! is stored in the tuned-config registry, and the matrix gains a
+//! **repair-curve** table: for each (src→dst) pair, the migration
+//! penalty plus how fast a warm-started re-tune (generation 0 seeded
+//! with the migrated config) closes the gap — `parity@gen N (S vs)` is
+//! the first generation, and the cumulative virtual tuning seconds, at
+//! which the search came within 5% of the natively tuned time. The
+//! scratch column prices the same parity for the cold search, so the
+//! saving is the difference.
+//!
+//! Usage: `fig7_migration [benchmark-substring] [--full] [--shards N]
+//! [--registry <dir>]`
 
+use petal_apps::workload::smoke_mode;
 use petal_apps::Benchmark;
-use petal_bench::{baselines, full_flag, harness_benchmarks, positional_args, row, tune};
+use petal_bench::{
+    baselines, full_flag, harness_benchmarks, harness_tuner_settings, positional_args,
+    registry_flag, row, store_tuned, tune,
+};
 use petal_core::Config;
 use petal_gpu::profile::MachineProfile;
+use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
 
 fn time_on(bench: &dyn Benchmark, machine: &MachineProfile, cfg: &Config) -> Option<f64> {
     bench.run_with_config(machine, cfg).ok().map(|r| r.virtual_time_secs())
 }
 
+/// `parity@gen N (S vs)` or `n/a` for one tuning run against a target.
+fn parity_cell(tuned: &Tuned, target: f64) -> String {
+    match tuned.stats.parity_point(target) {
+        Some((generation, secs)) => format!("parity@gen {generation} ({secs:.3} vs)"),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// The repair-curve table for one benchmark: every src→dst migration,
+/// warm-started from the src config, priced against the scratch tune.
+fn repair_table(
+    bench: &dyn Benchmark,
+    machines: &[MachineProfile],
+    tuned: &[Tuned],
+    native: &[f64],
+) {
+    let widths = [22, 10, 10, 26, 26];
+    println!("--- Repair curves (warm-start re-tuning after migration) ---");
+    let header =
+        ["src -> dst", "penalty", "repair", "warm re-tune", "scratch tune"].map(str::to_owned);
+    println!("{}", row(&header, &widths));
+    for (si, src) in machines.iter().enumerate() {
+        for (di, dst) in machines.iter().enumerate() {
+            if si == di {
+                continue;
+            }
+            let Some(migrated) = time_on(bench, dst, &tuned[si].config) else {
+                // The migrated config cannot run here at all (e.g. it
+                // commits to OpenCL on a machine without a device) —
+                // the strongest possible argument for re-tuning.
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            format!("{} -> {}", src.codename, dst.codename),
+                            "inf".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ],
+                        &widths
+                    )
+                );
+                continue;
+            };
+            // Warm-start the dst re-tune from the migrated config —
+            // exactly what a registry hit from the src machine seeds.
+            let warm = Autotuner::new(
+                bench,
+                dst,
+                TunerSettings {
+                    warm_start: Some(WarmStart {
+                        config: tuned[si].config.clone(),
+                        source: format!("registry:family:{}", src.codename),
+                    }),
+                    ..harness_tuner_settings()
+                },
+            )
+            .run();
+            let target = native[di] * 1.05;
+            let repair = warm
+                .stats
+                .repair_generations
+                .map_or_else(|| "-".to_owned(), |g| format!("gen {g}"));
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{} -> {}", src.codename, dst.codename),
+                        format!("{:.2}x", migrated / native[di]),
+                        repair,
+                        parity_cell(&warm, target),
+                        parity_cell(&tuned[di], target),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+}
+
 fn main() {
     let filter: Option<String> = positional_args().first().map(|s| s.to_lowercase());
+    let registry = registry_flag();
     // The extended matrix: the paper's three machines plus the iGPU and
     // ManyCore extension profiles (migration penalties are sharpest when
     // the device balance differs most).
@@ -36,6 +134,11 @@ fn main() {
         // Tune natively on each machine.
         let tuned: Vec<_> = machines.iter().map(|m| tune(&*bench, m)).collect();
         let native: Vec<f64> = tuned.iter().map(|t| t.time_secs).collect();
+        if let Some(dir) = &registry {
+            for (m, t) in machines.iter().zip(&tuned) {
+                store_tuned(dir, &*bench, m, t, "fig7");
+            }
+        }
 
         let mut header = vec!["Config \\ Machine".to_owned()];
         header.extend(machines.iter().map(|m| m.codename.clone()));
@@ -113,5 +216,12 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join("  ")
         );
+        if registry.is_some() {
+            // Each src→dst cell costs a full warm re-tune; the smoke run
+            // keeps the matrix to the paper's three machines.
+            let n = if smoke_mode() { 3.min(machines.len()) } else { machines.len() };
+            repair_table(&*bench, &machines[..n], &tuned[..n], &native[..n]);
+            println!();
+        }
     }
 }

@@ -17,7 +17,9 @@
 
 use petal_apps::Benchmark;
 use petal_gpu::profile::MachineProfile;
-use petal_tuner::{Autotuner, Tuned, TunerSettings};
+use petal_registry::Registry;
+use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
+use std::path::PathBuf;
 
 pub mod baselines;
 
@@ -55,6 +57,11 @@ pub struct HarnessArgs {
     /// `PETAL_FARMD=<endpoint>`): evaluate against the `petal-farmd`
     /// dispatcher at `host:port` or `unix:<path>`. Wins over `--shards`.
     pub farmd: Option<String>,
+    /// `--registry <dir>` / `--registry=<dir>` (or
+    /// `PETAL_REGISTRY=<dir>`): the tuned-config registry directory.
+    /// Harnesses that support it store their tunes there and warm-start
+    /// re-tuning from it (`fig7_migration`'s repair curves).
+    pub registry: Option<PathBuf>,
     /// Everything else, in order (e.g. `fig7_migration`'s name filter).
     pub positionals: Vec<String>,
 }
@@ -71,17 +78,19 @@ impl HarnessArgs {
             args,
             std::env::var("PETAL_SHARDS").ok().as_deref(),
             std::env::var("PETAL_FARMD").ok().as_deref(),
+            std::env::var("PETAL_REGISTRY").ok().as_deref(),
         )
     }
 
-    /// [`Self::parse`] with the `PETAL_SHARDS` / `PETAL_FARMD` values
-    /// passed explicitly — the actual parser, and what tests call so they
-    /// never have to mutate the process environment (a data race under
-    /// libtest's concurrent test threads).
+    /// [`Self::parse`] with the `PETAL_SHARDS` / `PETAL_FARMD` /
+    /// `PETAL_REGISTRY` values passed explicitly — the actual parser, and
+    /// what tests call so they never have to mutate the process
+    /// environment (a data race under libtest's concurrent test threads).
     fn parse_with_env<I: IntoIterator<Item = String>>(
         args: I,
         env_shards: Option<&str>,
         env_farmd: Option<&str>,
+        env_registry: Option<&str>,
     ) -> Result<Self, String> {
         let parse_shards = |raw: &str| {
             raw.parse().map_err(|_| {
@@ -91,11 +100,21 @@ impl HarnessArgs {
         // `--farmd none` is the escape hatch back to local evaluation
         // when PETAL_FARMD is exported in the environment.
         let parse_farmd = |raw: &str| if raw == "none" { None } else { Some(raw.to_owned()) };
-        let mut out = HarnessArgs { full: false, shards: 0, farmd: None, positionals: Vec::new() };
+        // `--registry none` likewise disables a PETAL_REGISTRY export.
+        let parse_registry =
+            |raw: &str| if raw == "none" { None } else { Some(PathBuf::from(raw)) };
+        let mut out = HarnessArgs {
+            full: false,
+            shards: 0,
+            farmd: None,
+            registry: None,
+            positionals: Vec::new(),
+        };
         // An explicit `--shards 0` must win over PETAL_SHARDS: the flag
         // is the documented escape hatch back to in-process evaluation.
         let mut shards_from_cli = false;
         let mut farmd_from_cli = false;
+        let mut registry_from_cli = false;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -118,6 +137,15 @@ impl HarnessArgs {
                     out.farmd = parse_farmd(&a["--farmd=".len()..]);
                     farmd_from_cli = true;
                 }
+                "--registry" => {
+                    let raw = args.next().ok_or("--registry is missing its value")?;
+                    out.registry = parse_registry(&raw);
+                    registry_from_cli = true;
+                }
+                a if a.starts_with("--registry=") => {
+                    out.registry = parse_registry(&a["--registry=".len()..]);
+                    registry_from_cli = true;
+                }
                 _ => out.positionals.push(a),
             }
         }
@@ -129,6 +157,11 @@ impl HarnessArgs {
         if !farmd_from_cli {
             if let Some(raw) = env_farmd {
                 out.farmd = parse_farmd(raw);
+            }
+        }
+        if !registry_from_cli {
+            if let Some(raw) = env_registry {
+                out.registry = parse_registry(raw);
             }
         }
         Ok(out)
@@ -176,6 +209,15 @@ pub fn shards_flag() -> usize {
 #[must_use]
 pub fn farmd_flag() -> Option<String> {
     HarnessArgs::from_env().farmd
+}
+
+/// `--registry <dir>` flag (or `PETAL_REGISTRY=<dir>`) shared by the
+/// harness binaries: the tuned-config registry directory. `--registry
+/// none` forces registry-free operation when the environment variable is
+/// exported.
+#[must_use]
+pub fn registry_flag() -> Option<PathBuf> {
+    HarnessArgs::from_env().registry
 }
 
 /// Positional (non-flag) arguments, for binaries like `fig7_migration`
@@ -238,6 +280,7 @@ pub fn harness_tuner_settings() -> TunerSettings {
         farm: harness_farm_settings(),
         kick_after: 2,
         kick_strength: 3,
+        warm_start: None,
     }
 }
 
@@ -245,6 +288,72 @@ pub fn harness_tuner_settings() -> TunerSettings {
 #[must_use]
 pub fn tune(bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
     Autotuner::new(bench, machine, harness_tuner_settings()).run()
+}
+
+/// The registry's nearest stored config for `(machine, bench)` as a
+/// tuner [`WarmStart`], with a provenance label naming the match tier
+/// and donor machine (`registry:family:Laptop`). `None` when the
+/// registry has no entry for this benchmark and size (or `dir` cannot
+/// be opened — a warm start is an optimization, never a hard failure,
+/// but the miss is reported on stderr so an operator sees why a run
+/// tuned cold).
+#[must_use]
+pub fn registry_warm_start(
+    dir: &std::path::Path,
+    machine: &MachineProfile,
+    bench: &dyn Benchmark,
+) -> Option<WarmStart> {
+    let lookup =
+        Registry::open(dir).and_then(|reg| reg.lookup(machine, &bench.spec(), bench.input_size()));
+    match lookup {
+        Ok(Some(m)) => Some(WarmStart {
+            config: m.entry.config,
+            source: format!("registry:{}:{}", m.tier, m.entry.machine.codename),
+        }),
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("warning: registry warm-start unavailable: {e}");
+            None
+        }
+    }
+}
+
+/// Autotune with a warm start from the registry at `dir` (when it has a
+/// usable donor), then offer the improved result back to the registry
+/// with keep-best semantics — the tune → store → warm-start loop one
+/// deployment iteration performs.
+#[must_use]
+pub fn tune_warm(dir: &std::path::Path, bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
+    let settings = TunerSettings {
+        warm_start: registry_warm_start(dir, machine, bench),
+        ..harness_tuner_settings()
+    };
+    let tuned = Autotuner::new(bench, machine, settings).run();
+    store_tuned(dir, bench, machine, &tuned, "tune_warm");
+    tuned
+}
+
+/// Offer a tuning result to the registry at `dir` (keep-best). Failures
+/// are reported, not fatal: a read-only registry must not kill a run.
+pub fn store_tuned(
+    dir: &std::path::Path,
+    bench: &dyn Benchmark,
+    machine: &MachineProfile,
+    tuned: &Tuned,
+    source: &str,
+) {
+    let entry = petal_registry::StoredEntry {
+        machine: machine.clone(),
+        bench_spec: bench.spec(),
+        size: bench.input_size(),
+        config: tuned.config.clone(),
+        time_secs: tuned.time_secs,
+        source: source.to_owned(),
+    };
+    let outcome = Registry::open(dir).and_then(|reg| reg.put(&entry));
+    if let Err(e) = outcome {
+        eprintln!("warning: could not store tuned config: {e}");
+    }
 }
 
 /// Render a simple fixed-width table row.
@@ -293,7 +402,13 @@ mod tests {
         let a = parse(&["scholes", "--shards", "4", "--full"]).expect("parses");
         assert_eq!(
             a,
-            HarnessArgs { full: true, shards: 4, farmd: None, positionals: vec!["scholes".into()] }
+            HarnessArgs {
+                full: true,
+                shards: 4,
+                farmd: None,
+                registry: None,
+                positionals: vec!["scholes".into()],
+            }
         );
         let a = parse(&["--shards=2"]).expect("parses");
         assert_eq!(a.shards, 2);
@@ -303,6 +418,12 @@ mod tests {
         let a = parse(&["--farmd=unix:/tmp/farm.sock", "scholes"]).expect("parses");
         assert_eq!(a.farmd.as_deref(), Some("unix:/tmp/farm.sock"));
         assert_eq!(a.positionals, vec!["scholes".to_owned()]);
+        let a = parse(&["--registry", "/tmp/reg", "scholes"]).expect("parses");
+        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/tmp/reg")));
+        assert_eq!(a.positionals, vec!["scholes".to_owned()]);
+        let a = parse(&["--registry=/tmp/reg2"]).expect("parses");
+        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/tmp/reg2")));
+        assert!(a.positionals.is_empty(), "--registry=DIR is a flag, not a filter");
     }
 
     #[test]
@@ -311,32 +432,69 @@ mod tests {
         assert!(parse(&["--shards", "bogus"]).is_err(), "non-integer value");
         assert!(parse(&["--shards=x"]).is_err(), "non-integer inline value");
         assert!(parse(&["--farmd"]).is_err(), "missing endpoint value");
+        assert!(parse(&["--registry"]).is_err(), "missing registry value");
     }
 
     fn parse_env(
         args: &[&str],
         shards: Option<&str>,
         farmd: Option<&str>,
+        registry: Option<&str>,
     ) -> Result<HarnessArgs, String> {
-        HarnessArgs::parse_with_env(args.iter().map(|s| (*s).to_owned()), shards, farmd)
+        HarnessArgs::parse_with_env(args.iter().map(|s| (*s).to_owned()), shards, farmd, registry)
     }
 
     #[test]
     fn explicit_shards_zero_beats_the_environment() {
-        let a = parse_env(&["--shards", "0"], Some("4"), None).expect("parses");
+        let a = parse_env(&["--shards", "0"], Some("4"), None, None).expect("parses");
         assert_eq!(a.shards, 0, "CLI escape hatch wins");
-        let a = parse_env(&[], Some("4"), None).expect("parses");
+        let a = parse_env(&[], Some("4"), None, None).expect("parses");
         assert_eq!(a.shards, 4, "env applies without the flag");
-        assert!(parse_env(&[], Some("bogus"), None).is_err(), "malformed env is loud too");
+        assert!(parse_env(&[], Some("bogus"), None, None).is_err(), "malformed env is loud too");
     }
 
     #[test]
     fn explicit_farmd_none_beats_the_environment() {
-        let a = parse_env(&["--farmd", "none"], None, Some("127.0.0.1:7777")).expect("parses");
+        let a =
+            parse_env(&["--farmd", "none"], None, Some("127.0.0.1:7777"), None).expect("parses");
         assert_eq!(a.farmd, None, "CLI escape hatch wins");
-        let a = parse_env(&[], None, Some("127.0.0.1:7777")).expect("parses");
+        let a = parse_env(&[], None, Some("127.0.0.1:7777"), None).expect("parses");
         assert_eq!(a.farmd.as_deref(), Some("127.0.0.1:7777"), "env applies");
-        let a = parse_env(&["--farmd", "unix:/s"], None, Some("127.0.0.1:1")).expect("parses");
+        let a =
+            parse_env(&["--farmd", "unix:/s"], None, Some("127.0.0.1:1"), None).expect("parses");
         assert_eq!(a.farmd.as_deref(), Some("unix:/s"), "flag beats env");
+    }
+
+    #[test]
+    fn explicit_registry_none_beats_the_environment() {
+        let a = parse_env(&["--registry", "none"], None, None, Some("/srv/reg")).expect("parses");
+        assert_eq!(a.registry, None, "CLI escape hatch wins");
+        let a = parse_env(&[], None, None, Some("/srv/reg")).expect("parses");
+        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/srv/reg")), "env applies");
+        let a = parse_env(&["--registry=/cli/reg"], None, None, Some("/srv/reg")).expect("parses");
+        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/cli/reg")), "flag beats env");
+    }
+
+    #[test]
+    fn warm_tuning_round_trips_through_a_registry() {
+        use petal_apps::blackscholes::BlackScholes;
+        let dir = std::env::temp_dir().join(format!("petal-bench-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bench = BlackScholes::new(50_000);
+        let machine = MachineProfile::desktop();
+        assert!(
+            registry_warm_start(&dir, &machine, &bench).is_none(),
+            "empty registry yields no warm start"
+        );
+        let settings = TunerSettings {
+            farm: petal_tuner::FarmSettings::sequential(),
+            ..TunerSettings::smoke()
+        };
+        let tuned = Autotuner::new(&bench, &machine, settings).run();
+        store_tuned(&dir, &bench, &machine, &tuned, "unit-test");
+        let ws = registry_warm_start(&dir, &machine, &bench).expect("stored entry found");
+        assert_eq!(ws.config, tuned.config);
+        assert_eq!(ws.source, "registry:exact:Desktop");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,260 @@
+//! `petal-registry` — operate on a tuned-configuration registry.
+//!
+//! ```text
+//! petal-registry put --machine <codename> --spec "<spec>" --time <secs> \
+//!                    [--size N] [--config <file>|-] [--source <label>] [--force] \
+//!                    [--registry <dir>]
+//! petal-registry get --machine <codename> --spec "<spec>" [--size N] [--exact] \
+//!                    [--registry <dir>]
+//! petal-registry ls  [--registry <dir>]
+//! petal-registry gc  [--registry <dir>]
+//! ```
+//!
+//! The registry directory comes from `--registry <dir>` (also
+//! `--registry=<dir>`) or the `PETAL_REGISTRY` environment variable;
+//! the flag wins. `get` prints the stored config text to stdout (ready
+//! to redirect into a config file) and the match metadata — tier,
+//! distance, donor machine — to stderr, so scripts can pipe the one
+//! without parsing the other.
+
+use petal_gpu::profile::MachineProfile;
+use petal_registry::{decode_entry, fingerprint_hex, MatchTier, PutOutcome, Registry, StoredEntry};
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("petal-registry: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:\n  \
+    petal-registry put --machine <codename> --spec <spec> --time <secs> \
+[--size N] [--config <file>|-] [--source <label>] [--force] [--registry <dir>]\n  \
+    petal-registry get --machine <codename> --spec <spec> [--size N] [--exact] \
+[--registry <dir>]\n  \
+    petal-registry ls [--registry <dir>]\n  \
+    petal-registry gc [--registry <dir>]\n\
+(--registry defaults to $PETAL_REGISTRY)";
+
+/// Minimal flag cursor: `--flag value`, `--flag=value`, and boolean
+/// flags, mirroring the `HarnessArgs` conventions without depending on
+/// the bench crate.
+struct Flags {
+    rest: Vec<String>,
+}
+
+impl Flags {
+    fn new(args: &[String]) -> Self {
+        Flags { rest: args.to_vec() }
+    }
+
+    /// Take `--name <v>` / `--name=<v>`, or `None` when absent.
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        let eq = format!("{name}=");
+        let mut i = 0;
+        while i < self.rest.len() {
+            if self.rest[i] == name {
+                if i + 1 >= self.rest.len() {
+                    return Err(format!("{name} needs a value"));
+                }
+                self.rest.remove(i);
+                return Ok(Some(self.rest.remove(i)));
+            }
+            if let Some(v) = self.rest[i].strip_prefix(&eq) {
+                let v = v.to_owned();
+                self.rest.remove(i);
+                return Ok(Some(v));
+            }
+            i += 1;
+        }
+        Ok(None)
+    }
+
+    /// Take a boolean `--name`.
+    fn flag(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| a == name) {
+            Some(i) => {
+                self.rest.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", self.rest.join(" ")))
+        }
+    }
+}
+
+fn open_registry(flags: &mut Flags) -> Result<Registry, String> {
+    let dir = match flags.value("--registry")? {
+        Some(d) => PathBuf::from(d),
+        None => match std::env::var_os("PETAL_REGISTRY") {
+            Some(d) if !d.is_empty() => PathBuf::from(d),
+            _ => return Err("no registry: pass --registry <dir> or set PETAL_REGISTRY".into()),
+        },
+    };
+    Registry::open(dir).map_err(|e| e.to_string())
+}
+
+fn machine_arg(flags: &mut Flags) -> Result<MachineProfile, String> {
+    let name = flags.value("--machine")?.ok_or("--machine <codename> is required")?;
+    MachineProfile::by_codename(&name).ok_or_else(|| {
+        format!("unknown machine `{name}` (try desktop/server/laptop/igpu/manycore)")
+    })
+}
+
+/// Spec and input size; `--size` defaults to the spec's own input size.
+fn spec_and_size(flags: &mut Flags) -> Result<(String, u64), String> {
+    let spec = flags.value("--spec")?.ok_or("--spec <spec> is required")?;
+    let size = match flags.value("--size")? {
+        Some(s) => s.parse().map_err(|_| format!("bad --size `{s}`"))?,
+        None => benchmark_default_size(&spec)?,
+    };
+    Ok((spec, size))
+}
+
+fn benchmark_default_size(spec: &str) -> Result<u64, String> {
+    petal_apps::benchmark_from_spec(spec)
+        .map(|b| b.input_size())
+        .map_err(|e| format!("cannot infer --size from spec: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    let mut flags = Flags::new(rest);
+    match cmd.as_str() {
+        "put" => {
+            let reg = open_registry(&mut flags)?;
+            let machine = machine_arg(&mut flags)?;
+            let (bench_spec, size) = spec_and_size(&mut flags)?;
+            let time_secs: f64 = flags
+                .value("--time")?
+                .ok_or("--time <secs> is required")?
+                .parse()
+                .map_err(|_| "bad --time (decimal seconds)".to_owned())?;
+            let config_text = match flags.value("--config")?.as_deref() {
+                None | Some("-") => {
+                    let mut text = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut text)
+                        .map_err(|e| format!("reading config from stdin: {e}"))?;
+                    text
+                }
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading config `{path}`: {e}"))?,
+            };
+            let config = config_text.parse().map_err(|e| format!("bad config text: {e}"))?;
+            let source =
+                flags.value("--source")?.unwrap_or_else(|| "petal-registry put".to_owned());
+            let force = flags.flag("--force");
+            flags.finish()?;
+            let entry = StoredEntry { machine, bench_spec, size, config, time_secs, source };
+            if force {
+                let path = reg.put_force(&entry).map_err(|e| e.to_string())?;
+                println!("forced {}", path.display());
+            } else {
+                match reg.put(&entry).map_err(|e| e.to_string())? {
+                    PutOutcome::Inserted(p) => println!("inserted {}", p.display()),
+                    PutOutcome::Replaced(p) => println!("replaced {}", p.display()),
+                    PutOutcome::KeptExisting(p) => {
+                        println!("kept existing (better or equal time) {}", p.display());
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "get" => {
+            let reg = open_registry(&mut flags)?;
+            let machine = machine_arg(&mut flags)?;
+            let (spec, size) = spec_and_size(&mut flags)?;
+            let exact = flags.flag("--exact");
+            flags.finish()?;
+            let found = if exact {
+                reg.get_exact(&machine, &spec, size).map_err(|e| e.to_string())?.map(|entry| {
+                    petal_registry::Match { entry, tier: MatchTier::Exact, distance: 0.0 }
+                })
+            } else {
+                reg.lookup(&machine, &spec, size).map_err(|e| e.to_string())?
+            };
+            match found {
+                Some(m) => {
+                    eprintln!(
+                        "match tier={} distance={:.3} machine={} fingerprint={} time={:.6e}s \
+                         source={}",
+                        m.tier,
+                        m.distance,
+                        m.entry.machine.codename,
+                        fingerprint_hex(&m.entry.machine),
+                        m.entry.time_secs,
+                        m.entry.source,
+                    );
+                    print!("{}", m.entry.config);
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    eprintln!(
+                        "no match for machine={} spec=\"{spec}\" size={size}",
+                        machine.codename
+                    );
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "ls" => {
+            let reg = open_registry(&mut flags)?;
+            flags.finish()?;
+            let scan = reg.scan().map_err(|e| e.to_string())?;
+            for (path, e) in &scan.entries {
+                println!(
+                    "{} machine={} fingerprint={} spec=\"{}\" size={} time={:.6e}s source={}",
+                    path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default(),
+                    e.machine.codename,
+                    fingerprint_hex(&e.machine),
+                    e.bench_spec,
+                    e.size,
+                    e.time_secs,
+                    e.source,
+                );
+            }
+            for issue in &scan.issues {
+                eprintln!("skipped {}: {}", issue.path.display(), issue.error);
+            }
+            println!("{} entries, {} unusable", scan.entries.len(), scan.issues.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let reg = open_registry(&mut flags)?;
+            flags.finish()?;
+            let removed = reg.gc().map_err(|e| e.to_string())?;
+            for issue in &removed {
+                println!("removed {}: {}", issue.path.display(), issue.error);
+            }
+            println!("{} files removed", removed.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "decode" => {
+            // Undocumented helper: decode an entry file for debugging.
+            let path = flags.value("--file")?.ok_or("decode needs --file <entry>")?;
+            flags.finish()?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading `{path}`: {e}"))?;
+            let entry = decode_entry(&text).map_err(|e| e.to_string())?;
+            println!("{entry:#?}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}

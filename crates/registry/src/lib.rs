@@ -1,0 +1,698 @@
+//! # petal-registry — the tuned-configuration registry
+//!
+//! The paper's central quantitative result (Fig. 7) is that a
+//! configuration tuned on one machine loses 1.5×–16× when migrated to
+//! another. The serving answer is a **config registry**: a persistent
+//! store of `Tuned.config` keyed by `(machine fingerprint, benchmark
+//! spec, input size)`. A deployment serving millions of users answers
+//! most tuning requests straight from the registry; only a genuinely
+//! novel machine pays for evolutionary search — and even then it starts
+//! *warm*, seeded with the nearest stored configuration
+//! (`petal_tuner::TunerSettings::warm_start`), so the search only has to
+//! repair the migration penalty instead of rediscovering the whole
+//! mapping.
+//!
+//! ## Key schema
+//!
+//! An entry is addressed by three components:
+//!
+//! 1. **Machine fingerprint** — [`fingerprint`], an FNV-1a hash over the
+//!    machine's canonical wire encoding (the same
+//!    [`petal_farm::wire`] encoding that ships profiles to shard
+//!    workers, so two profiles hash equal iff every cost-model field is
+//!    bit-identical).
+//! 2. **Benchmark spec** — the [`petal_apps::Benchmark::spec`] line
+//!    (exact, including its size parameters).
+//! 3. **Input size** — the size the configuration was tuned at.
+//!
+//! ## Nearest-key lookup
+//!
+//! [`Registry::lookup`] matches the benchmark spec and size exactly but
+//! the *machine* by nearest key, in three tiers:
+//!
+//! * [`MatchTier::Exact`] — same fingerprint (bit-identical profile);
+//! * [`MatchTier::Family`] — same [`MachineFamily`] (CPU-only /
+//!   CPU-backed OpenCL / integrated GPU / discrete GPU), nearest by
+//!   [`distance`];
+//! * [`MatchTier::Fallback`] — any machine, nearest by [`distance`].
+//!
+//! An exact hit always beats every family hit, which always beats every
+//! fallback hit. Within a tier, the entry with the smallest [`distance`]
+//! wins; ties break on the fingerprint (then key) hex, so lookup is a
+//! pure function of the registry *contents* — insertion order can never
+//! change the answer (entries live in files named by their key hash, and
+//! scans sort by file name).
+//!
+//! ## On-disk format
+//!
+//! One entry per file (`<key-hash>.reg`) inside the registry directory,
+//! using the [`petal_farm::wire`] record conventions — line-delimited,
+//! length-prefixed, escaped fields; exact IEEE-754 bit patterns for
+//! floats:
+//!
+//! ```text
+//! REGV <format version>
+//! INIT 0 <benchmark spec> <machine profile fields…>
+//! TUNED <size> <time_secs bits> <config text> <source label>
+//! ```
+//!
+//! The `REGV` record's first field is frozen across all future format
+//! versions, so version skew is always reported as a
+//! [`EntryError::VersionSkew`] *diagnostic* — never a parse error — and
+//! hostile or truncated payloads decode to [`EntryError::Malformed`],
+//! never a panic (proven by `tests/store_prop.rs`).
+//!
+//! ## Determinism
+//!
+//! Registry reads happen on the client, before a tuning run starts: a
+//! warm start only changes the *candidates* of generation 0, which
+//! travel the same dispatch path as any other candidate. Nothing the
+//! registry does can reach the farm's client-side submission-order
+//! merge, so tuning results stay bit-identical at every thread, shard
+//! and farmd fleet size — warm or cold.
+
+#![warn(missing_docs)]
+
+mod distance;
+
+pub use distance::{distance, family, fingerprint, fingerprint_hex, MachineFamily};
+
+use petal_core::Config;
+use petal_farm::wire::{Message, Record};
+use petal_gpu::profile::MachineProfile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// On-disk entry format version written by this build (the `REGV`
+/// record). Bumped on any incompatible layout change; older/newer
+/// entries surface as [`EntryError::VersionSkew`].
+pub const FORMAT_VERSION: u64 = 1;
+
+/// File extension of registry entries.
+pub const ENTRY_EXT: &str = "reg";
+
+/// One stored tuned configuration: the key (machine, spec, size), the
+/// payload (config + its tuned virtual time) and a free-form provenance
+/// label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEntry {
+    /// The machine the configuration was tuned on (full profile — the
+    /// fingerprint alone cannot support nearest-key distances).
+    pub machine: MachineProfile,
+    /// The benchmark's [`petal_apps::Benchmark::spec`] line.
+    pub bench_spec: String,
+    /// Input size the configuration was tuned at.
+    pub size: u64,
+    /// The tuned configuration.
+    pub config: Config,
+    /// Virtual execution time of `config` at `size` on `machine`
+    /// (`Tuned.time_secs`); `put` keeps the best per key.
+    pub time_secs: f64,
+    /// Provenance label (e.g. `fig7`, `petal-registry put`).
+    pub source: String,
+}
+
+impl StoredEntry {
+    /// The entry's key hash: FNV-1a over `(fingerprint, spec, size)`,
+    /// which is also its file name stem.
+    #[must_use]
+    pub fn key_hash(&self) -> u64 {
+        key_hash(&self.machine, &self.bench_spec, self.size)
+    }
+
+    /// Encode as the on-disk entry text (inverse of [`decode_entry`]).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = Record::new("REGV", vec![FORMAT_VERSION.to_string()]).encode();
+        out.push('\n');
+        // The machine + spec ride the shard wire's INIT encoding so the
+        // registry and the farm share one profile codec. The leading
+        // version field is the *wire* version slot, unused here (0).
+        out.push_str(
+            &Message::Init {
+                version: 0,
+                bench_spec: self.bench_spec.clone(),
+                machine: Box::new(self.machine.clone()),
+            }
+            .encode(),
+        );
+        out.push('\n');
+        out.push_str(
+            &Record::new(
+                "TUNED",
+                vec![
+                    self.size.to_string(),
+                    petal_apps::spec_f64(self.time_secs),
+                    self.config.to_string(),
+                    self.source.clone(),
+                ],
+            )
+            .encode(),
+        );
+        out.push('\n');
+        out
+    }
+}
+
+/// The key hash addressing one `(machine, spec, size)` cell — also the
+/// entry's file name stem, so a key can never be stored twice.
+#[must_use]
+pub fn key_hash(machine: &MachineProfile, bench_spec: &str, size: u64) -> u64 {
+    let mut text = fingerprint_hex(machine);
+    text.push('\n');
+    text.push_str(bench_spec);
+    text.push('\n');
+    text.push_str(&size.to_string());
+    distance::fnv1a64(text.as_bytes())
+}
+
+/// Why one entry's bytes could not be used (path-free; [`RegistryError`]
+/// adds the file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryError {
+    /// Framing/field/config violation — the bytes are not a valid entry
+    /// of any version this build knows how to frame.
+    Malformed(String),
+    /// The entry framed correctly but was written by a different format
+    /// version. A diagnostic, not a parse error: the `REGV` record's
+    /// first field is frozen forever.
+    VersionSkew {
+        /// Version found in the entry's `REGV` record.
+        found: u64,
+    },
+}
+
+impl fmt::Display for EntryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryError::Malformed(m) => write!(f, "malformed registry entry: {m}"),
+            EntryError::VersionSkew { found } => write!(
+                f,
+                "registry entry format version skew: entry is v{found}, this build \
+                 reads v{FORMAT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EntryError {}
+
+/// A registry operation failure, carrying the file it concerns.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem failure (the registry directory or an entry file).
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An entry file exists but cannot be used.
+    Entry {
+        /// The offending entry file.
+        path: PathBuf,
+        /// Why it was rejected.
+        error: EntryError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, source } => {
+                write!(f, "registry I/O error at {}: {source}", path.display())
+            }
+            RegistryError::Entry { path, error } => {
+                write!(f, "{} ({})", error, path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Decode one entry file's text (inverse of [`StoredEntry::encode`]).
+///
+/// # Errors
+/// [`EntryError::VersionSkew`] when the `REGV` header names a version
+/// this build does not read (the header's first field is frozen, so skew
+/// is always diagnosable); [`EntryError::Malformed`] for every framing,
+/// field or config violation. Never panics, whatever the bytes.
+pub fn decode_entry(text: &str) -> Result<StoredEntry, EntryError> {
+    let malformed = |m: &str| EntryError::Malformed(m.to_owned());
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| malformed("empty entry"))?;
+    let header = Record::parse(header).map_err(|e| malformed(&format!("bad header: {e}")))?;
+    if header.tag != "REGV" {
+        return Err(malformed(&format!("expected REGV header, found `{}`", header.tag)));
+    }
+    // Field 0 of REGV is frozen across every future version (later
+    // versions may append fields, which are deliberately ignored here):
+    // an unknown version must surface as skew, not as a parse error.
+    let version: u64 = header
+        .fields
+        .first()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| malformed("REGV header without a version field"))?;
+    if version != FORMAT_VERSION {
+        return Err(EntryError::VersionSkew { found: version });
+    }
+    let init = lines.next().ok_or_else(|| malformed("entry truncated before INIT"))?;
+    let init = Message::decode(init).map_err(|e| malformed(&format!("bad machine record: {e}")))?;
+    let Message::Init { bench_spec, machine, .. } = init else {
+        return Err(malformed("second record must be INIT"));
+    };
+    let tuned = lines.next().ok_or_else(|| malformed("entry truncated before TUNED"))?;
+    let tuned = Record::parse(tuned).map_err(|e| malformed(&format!("bad TUNED record: {e}")))?;
+    if tuned.tag != "TUNED" {
+        return Err(malformed(&format!("expected TUNED record, found `{}`", tuned.tag)));
+    }
+    let [size, time, config, source] = tuned.fields.as_slice() else {
+        return Err(malformed("TUNED record needs exactly 4 fields (size, time, config, source)"));
+    };
+    let size: u64 = size.parse().map_err(|_| malformed(&format!("bad size `{size}`")))?;
+    let time_secs =
+        petal_apps::spec_f64_parse(time).map_err(|e| malformed(&format!("bad time field: {e}")))?;
+    let config: Config = config.parse().map_err(|e| malformed(&format!("bad config text: {e}")))?;
+    if lines.next().is_some() {
+        return Err(malformed("trailing data after TUNED record"));
+    }
+    Ok(StoredEntry {
+        machine: *machine,
+        bench_spec,
+        size,
+        config,
+        time_secs,
+        source: source.clone(),
+    })
+}
+
+/// How close a lookup's winning entry is to the queried machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MatchTier {
+    /// Bit-identical machine profile (same [`fingerprint`]).
+    Exact,
+    /// Different machine of the same [`MachineFamily`].
+    Family,
+    /// A machine of a different family (best effort).
+    Fallback,
+}
+
+impl fmt::Display for MatchTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchTier::Exact => "exact",
+            MatchTier::Family => "family",
+            MatchTier::Fallback => "fallback",
+        })
+    }
+}
+
+/// A successful nearest-key lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// The winning stored entry.
+    pub entry: StoredEntry,
+    /// Which tier it matched in.
+    pub tier: MatchTier,
+    /// [`distance`] from the queried machine to the entry's machine
+    /// (0.0 for [`MatchTier::Exact`]).
+    pub distance: f64,
+}
+
+/// One unusable entry file found during a scan (corrupt bytes or a
+/// version this build does not read). Scans and lookups *skip* these —
+/// a damaged file must never take the registry down — and `gc` removes
+/// them.
+#[derive(Debug)]
+pub struct ScanIssue {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Why it was skipped.
+    pub error: EntryError,
+}
+
+/// Everything a directory scan found.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Decodable entries with their file paths, sorted by file name
+    /// (key hash) — deterministic whatever order files were created in.
+    pub entries: Vec<(PathBuf, StoredEntry)>,
+    /// Files skipped as corrupt or version-skewed.
+    pub issues: Vec<ScanIssue>,
+}
+
+/// A directory-backed registry of tuned configurations.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+/// What [`Registry::put`] did with the offered entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// No entry existed for the key; the offer was written.
+    Inserted(PathBuf),
+    /// An entry existed but the offer's `time_secs` was better (or the
+    /// write was forced); the offer replaced it.
+    Replaced(PathBuf),
+    /// An existing entry had an equal-or-better `time_secs`; the offer
+    /// was discarded (keep-best semantics).
+    KeptExisting(PathBuf),
+}
+
+impl Registry {
+    /// Open (creating if needed) the registry at `dir`.
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|source| RegistryError::Io { path: dir.clone(), source })?;
+        Ok(Registry { dir })
+    }
+
+    /// The registry directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.{ENTRY_EXT}"))
+    }
+
+    /// Store `entry` with keep-best semantics: an existing entry for the
+    /// same key survives unless the offer's `time_secs` is strictly
+    /// better (corrupt incumbents are always replaced).
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] on filesystem failures.
+    pub fn put(&self, entry: &StoredEntry) -> Result<PutOutcome, RegistryError> {
+        let path = self.entry_path(entry.key_hash());
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match decode_entry(&text) {
+                Ok(existing) if existing.time_secs <= entry.time_secs => {
+                    Ok(PutOutcome::KeptExisting(path))
+                }
+                _ => {
+                    self.write_entry(&path, entry)?;
+                    Ok(PutOutcome::Replaced(path))
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.write_entry(&path, entry)?;
+                Ok(PutOutcome::Inserted(path))
+            }
+            Err(source) => Err(RegistryError::Io { path, source }),
+        }
+    }
+
+    /// Store `entry` unconditionally, replacing any incumbent.
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] on filesystem failures.
+    pub fn put_force(&self, entry: &StoredEntry) -> Result<PathBuf, RegistryError> {
+        let path = self.entry_path(entry.key_hash());
+        self.write_entry(&path, entry)?;
+        Ok(path)
+    }
+
+    fn write_entry(&self, path: &Path, entry: &StoredEntry) -> Result<(), RegistryError> {
+        // Write-then-rename so a crashed writer can never leave a
+        // half-entry under the final name (a truncated file would be
+        // skipped by scans anyway, but gc should not have to clean up
+        // after ordinary crashes).
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, entry.encode())
+            .map_err(|source| RegistryError::Io { path: tmp.clone(), source })?;
+        std::fs::rename(&tmp, path)
+            .map_err(|source| RegistryError::Io { path: path.to_path_buf(), source })
+    }
+
+    /// Read every entry file, sorted by file name (= key hash), skipping
+    /// unusable files into [`Scan::issues`].
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] when the directory itself cannot be read.
+    pub fn scan(&self) -> Result<Scan, RegistryError> {
+        let rd = std::fs::read_dir(&self.dir)
+            .map_err(|source| RegistryError::Io { path: self.dir.clone(), source })?;
+        let mut files: Vec<PathBuf> = rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == ENTRY_EXT))
+            .collect();
+        files.sort();
+        let mut scan = Scan::default();
+        for path in files {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    let error = EntryError::Malformed(format!("unreadable: {e}"));
+                    scan.issues.push(ScanIssue { path, error });
+                    continue;
+                }
+            };
+            match decode_entry(&text) {
+                Ok(entry) => scan.entries.push((path, entry)),
+                Err(error) => scan.issues.push(ScanIssue { path, error }),
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Exact-key read: the stored entry for precisely this
+    /// `(machine, spec, size)` cell, or `None`.
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] on filesystem failures;
+    /// [`RegistryError::Entry`] when the addressed file exists but is
+    /// corrupt or version-skewed (an *addressed* read reports damage
+    /// instead of hiding it — only scans skip).
+    pub fn get_exact(
+        &self,
+        machine: &MachineProfile,
+        bench_spec: &str,
+        size: u64,
+    ) -> Result<Option<StoredEntry>, RegistryError> {
+        let path = self.entry_path(key_hash(machine, bench_spec, size));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(RegistryError::Io { path, source }),
+        };
+        decode_entry(&text).map(Some).map_err(|error| RegistryError::Entry { path, error })
+    }
+
+    /// Nearest-key lookup (see the module docs): spec and size match
+    /// exactly, the machine by tier (exact fingerprint → same family →
+    /// any), nearest [`distance`] first within a tier, ties broken on
+    /// fingerprint then key hex. Deterministic for given registry
+    /// contents; unusable files are skipped.
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] when the directory cannot be read.
+    pub fn lookup(
+        &self,
+        machine: &MachineProfile,
+        bench_spec: &str,
+        size: u64,
+    ) -> Result<Option<Match>, RegistryError> {
+        let scan = self.scan()?;
+        let fp = fingerprint(machine);
+        let fam = family(machine);
+        let mut best: Option<(MatchTier, f64, String, Match)> = None;
+        for (path, entry) in scan.entries {
+            if entry.bench_spec != bench_spec || entry.size != size {
+                continue;
+            }
+            let (tier, d) = if fingerprint(&entry.machine) == fp {
+                (MatchTier::Exact, 0.0)
+            } else if family(&entry.machine) == fam {
+                (MatchTier::Family, distance(machine, &entry.machine))
+            } else {
+                (MatchTier::Fallback, distance(machine, &entry.machine))
+            };
+            // Deterministic total order: tier, then distance, then the
+            // entry's fingerprint hex, then its file name.
+            let tie = format!(
+                "{} {}",
+                fingerprint_hex(&entry.machine),
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+            );
+            let candidate = (tier, d, tie, Match { entry, tier, distance: d });
+            let wins = match &best {
+                None => true,
+                Some((bt, bd, btie, _)) => {
+                    (candidate.0, candidate.1, candidate.2.as_str()) < (*bt, *bd, btie.as_str())
+                }
+            };
+            if wins {
+                best = Some(candidate);
+            }
+        }
+        Ok(best.map(|(_, _, _, m)| m))
+    }
+
+    /// Remove unusable entry files (corrupt bytes, version skew, stray
+    /// `.tmp` leftovers), returning what was deleted.
+    ///
+    /// # Errors
+    /// [`RegistryError::Io`] when the directory cannot be read or a file
+    /// cannot be removed.
+    pub fn gc(&self) -> Result<Vec<ScanIssue>, RegistryError> {
+        let mut removed = self.scan()?.issues;
+        let rd = std::fs::read_dir(&self.dir)
+            .map_err(|source| RegistryError::Io { path: self.dir.clone(), source })?;
+        for tmp in rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+        {
+            removed.push(ScanIssue {
+                path: tmp,
+                error: EntryError::Malformed("stale temporary file".to_owned()),
+            });
+        }
+        for issue in &removed {
+            std::fs::remove_file(&issue.path)
+                .map_err(|source| RegistryError::Io { path: issue.path.clone(), source })?;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petal_core::config::{Selector, Tunable};
+
+    fn temp_registry(tag: &str) -> Registry {
+        let dir =
+            std::env::temp_dir().join(format!("petal-registry-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Registry::open(dir).expect("temp registry opens")
+    }
+
+    fn entry(machine: MachineProfile, time_secs: f64) -> StoredEntry {
+        let mut config = Config::new();
+        config.set_selector("sort", Selector::new(vec![64], vec![2, 0], 7));
+        config.set_tunable("sort.gpu_ratio", Tunable::new(3, 0, 8));
+        StoredEntry {
+            machine,
+            bench_spec: "sort n=4096".to_owned(),
+            size: 4096,
+            config,
+            time_secs,
+            source: "unit-test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_disk() {
+        let reg = temp_registry("roundtrip");
+        let e = entry(MachineProfile::desktop(), 1.5e-3);
+        let out = reg.put(&e).expect("put");
+        assert!(matches!(out, PutOutcome::Inserted(_)));
+        let back =
+            reg.get_exact(&e.machine, &e.bench_spec, e.size).expect("get").expect("entry present");
+        assert_eq!(back, e);
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn put_keeps_the_best_time_unless_forced() {
+        let reg = temp_registry("keepbest");
+        let good = entry(MachineProfile::laptop(), 1.0e-3);
+        let worse = entry(MachineProfile::laptop(), 2.0e-3);
+        assert!(matches!(reg.put(&good).expect("put"), PutOutcome::Inserted(_)));
+        assert!(matches!(reg.put(&worse).expect("put"), PutOutcome::KeptExisting(_)));
+        let back = reg.get_exact(&good.machine, &good.bench_spec, good.size).unwrap().unwrap();
+        assert_eq!(back.time_secs, 1.0e-3, "keep-best kept the incumbent");
+        let better = entry(MachineProfile::laptop(), 0.5e-3);
+        assert!(matches!(reg.put(&better).expect("put"), PutOutcome::Replaced(_)));
+        reg.put_force(&worse).expect("forced put");
+        let back = reg.get_exact(&good.machine, &good.bench_spec, good.size).unwrap().unwrap();
+        assert_eq!(back.time_secs, 2.0e-3, "force overwrites");
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn lookup_prefers_exact_then_family_then_fallback() {
+        let reg = temp_registry("tiers");
+        // Desktop and Laptop are both discrete-GPU machines; ManyCore is
+        // CPU-only — a different family from everything else.
+        reg.put(&entry(MachineProfile::laptop(), 2.0)).expect("put laptop");
+        reg.put(&entry(MachineProfile::manycore(), 3.0)).expect("put manycore");
+        let got = reg
+            .lookup(&MachineProfile::desktop(), "sort n=4096", 4096)
+            .expect("lookup")
+            .expect("some match");
+        assert_eq!(got.tier, MatchTier::Family);
+        assert_eq!(got.entry.machine.codename, "Laptop");
+
+        reg.put(&entry(MachineProfile::desktop(), 1.0)).expect("put desktop");
+        let got = reg.lookup(&MachineProfile::desktop(), "sort n=4096", 4096).unwrap().unwrap();
+        assert_eq!(got.tier, MatchTier::Exact);
+        assert_eq!(got.distance, 0.0);
+
+        // A CPU-only query only has cross-family entries to fall back on.
+        let mut lone = MachineProfile::manycore();
+        lone.cpu.cores = 48;
+        let reg2 = temp_registry("fallback");
+        reg2.put(&entry(MachineProfile::desktop(), 1.0)).expect("put");
+        let got = reg2.lookup(&lone, "sort n=4096", 4096).unwrap().unwrap();
+        assert_eq!(got.tier, MatchTier::Fallback);
+        let _ = std::fs::remove_dir_all(reg.dir());
+        let _ = std::fs::remove_dir_all(reg2.dir());
+    }
+
+    #[test]
+    fn spec_and_size_must_match_exactly() {
+        let reg = temp_registry("specmatch");
+        reg.put(&entry(MachineProfile::desktop(), 1.0)).expect("put");
+        assert!(reg
+            .lookup(&MachineProfile::desktop(), "sort n=8192", 8192)
+            .expect("lookup")
+            .is_none());
+        assert!(reg
+            .lookup(&MachineProfile::desktop(), "sort n=4096", 8192)
+            .expect("lookup")
+            .is_none());
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_by_lookup_and_removed_by_gc() {
+        let reg = temp_registry("gc");
+        reg.put(&entry(MachineProfile::desktop(), 1.0)).expect("put");
+        std::fs::write(reg.dir().join("deadbeef00000000.reg"), "REGV not-a-version")
+            .expect("write corrupt");
+        std::fs::write(reg.dir().join("feedface00000000.reg"), "REGV 1:9\n").expect("write skew");
+        std::fs::write(reg.dir().join("0123456789abcdef.tmp"), "half an entry").expect("write tmp");
+        let got = reg.lookup(&MachineProfile::desktop(), "sort n=4096", 4096).unwrap();
+        assert!(got.is_some(), "good entry still served");
+        let removed = reg.gc().expect("gc");
+        assert_eq!(removed.len(), 3, "corrupt + skewed + tmp removed: {removed:?}");
+        assert!(removed.iter().any(|i| matches!(i.error, EntryError::VersionSkew { found: 9 })));
+        let scan = reg.scan().expect("scan");
+        assert_eq!(scan.entries.len(), 1);
+        assert!(scan.issues.is_empty());
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn version_skew_is_a_diagnostic_not_a_parse_error() {
+        let mut text = entry(MachineProfile::server(), 1.0).encode();
+        // Rewrite the header to claim a future version with extra fields
+        // appended — field 0 is frozen, so this must decode as skew.
+        let rest = text.split_off(text.find('\n').expect("header line"));
+        text = format!("REGV 1:7 9:capa=zstd{rest}");
+        match decode_entry(&text) {
+            Err(EntryError::VersionSkew { found: 7 }) => {}
+            other => panic!("wanted version skew, got {other:?}"),
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub use petal_blas as blas;
 pub use petal_core as core;
 pub use petal_farm as farm;
 pub use petal_gpu as gpu;
+pub use petal_registry as registry;
 pub use petal_rt as rt;
 pub use petal_tuner as tuner;
 
@@ -56,5 +57,6 @@ pub mod prelude {
     };
     pub use petal_farm::{EvalFarm, EvalJob, EvalResult, FarmSettings};
     pub use petal_gpu::profile::MachineProfile;
-    pub use petal_tuner::{Autotuner, Tuned, TunerSettings};
+    pub use petal_registry::Registry;
+    pub use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
 }
