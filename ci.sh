@@ -20,6 +20,13 @@ cargo test -q --offline
 
 echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings: docs can never rot)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+# The Registry -> DirStore rename ships a deprecated alias so external
+# callers migrate on their own schedule; the docs must keep carrying it
+# (and flagging it deprecated) until it is removed for real.
+test -f target/doc/petal_registry/type.Registry.html \
+  || { echo "doc gate: the deprecated Registry alias fell out of the docs"; exit 1; }
+grep -qi 'deprecated' target/doc/petal_registry/type.Registry.html \
+  || { echo "doc gate: the Registry alias is no longer marked deprecated"; exit 1; }
 
 echo "== petal-verify --all --deny (static plan/choice-space verification, smoke budget)"
 PETAL_SMOKE=1 cargo run --release --offline -p petal_analysis --bin petal-verify -- --all --deny
@@ -74,6 +81,47 @@ grep -q 'selector' "$REG_DIR/got.cfg" \
 grep -q 'tier=exact' "$REG_DIR/got.meta" \
   || { echo "registry smoke: desktop get was not an exact hit"; exit 1; }
 rm -rf "$REG_DIR"
+
+echo "== served-registry smoke (one dispatcher hosting the pool AND the registry)"
+# The fleet-shared loop end-to-end on release binaries: a first client's
+# GET over the socket misses cold; fig7 then evaluates its tunes on the
+# same dispatcher's two workers (PETAL_FARMD) while publishing every
+# native tune through the served registry (PETAL_REGISTRY, same
+# endpoint) and warm re-tuning the repair table on the pool; a second
+# client's exact GET hits what the fleet just published.
+REGD_DIR="$(mktemp -d /tmp/petal-regd-ci.XXXXXX)"
+REGD_SOCK="$(mktemp -u /tmp/petal-regd-ci.XXXXXX.sock)"
+./target/release/petal-farmd --listen "unix:$REGD_SOCK" --registry "$REGD_DIR" &
+REGD_PID=$!
+./target/release/petal-shard --connect "unix:$REGD_SOCK" --name regd-a &
+REGD_A_PID=$!
+./target/release/petal-shard --connect "unix:$REGD_SOCK" --name regd-b &
+REGD_B_PID=$!
+trap 'rm -rf "$REG_DIR" "$REGD_DIR"; kill "$FARMD_PID" "$WORKER_B_PID" "$REGD_PID" "$REGD_A_PID" "$REGD_B_PID" 2>/dev/null || true; rm -f "$FARMD_SOCK" "$REGD_SOCK"' EXIT
+if ./target/release/petal-registry get --registry "unix:$REGD_SOCK" \
+    --machine laptop --spec "blackscholes n=4096" >/dev/null 2>"$REGD_DIR/miss.meta"; then
+  echo "served-registry smoke: expected the first GET to miss cold"; exit 1
+fi
+grep -q 'no match' "$REGD_DIR/miss.meta" \
+  || { echo "served-registry smoke: the cold miss was not a clean miss"; cat "$REGD_DIR/miss.meta"; exit 1; }
+PETAL_SMOKE=1 PETAL_FARMD="unix:$REGD_SOCK" PETAL_REGISTRY="unix:$REGD_SOCK" \
+  ./target/release/fig7_migration scholes >"$REGD_DIR/fig7.out"
+grep -q 'parity@gen' "$REGD_DIR/fig7.out" \
+  || { echo "served-registry smoke: no parity@gen cell in the repair table"; exit 1; }
+./target/release/petal-registry ls --registry "unix:$REGD_SOCK" >"$REGD_DIR/ls.out"
+grep -q 'machine=Desktop' "$REGD_DIR/ls.out" \
+  || { echo "served-registry smoke: Desktop entry missing from the served ls"; exit 1; }
+REGD_SPEC="$(sed -n 's/.*spec="\([^"]*\)".*/\1/p' "$REGD_DIR/ls.out" | sort -u)"
+./target/release/petal-registry get --registry "unix:$REGD_SOCK" \
+  --machine desktop --spec "$REGD_SPEC" >"$REGD_DIR/got.cfg" 2>"$REGD_DIR/got.meta"
+grep -q 'selector' "$REGD_DIR/got.cfg" \
+  || { echo "served-registry smoke: the served get did not return a config file"; exit 1; }
+grep -q 'tier=exact' "$REGD_DIR/got.meta" \
+  || { echo "served-registry smoke: the second client's get was not an exact hit"; exit 1; }
+kill "$REGD_PID" "$REGD_A_PID" "$REGD_B_PID" 2>/dev/null || true
+wait "$REGD_PID" 2>/dev/null || true
+rm -rf "$REGD_DIR"
+rm -f "$REGD_SOCK"
 
 echo "== farmd soak (PETAL_SOAK=1 opt-in: thousands of jobs through a churning mixed pool)"
 if [[ "${PETAL_SOAK:-0}" == "1" ]]; then

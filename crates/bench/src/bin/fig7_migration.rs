@@ -7,7 +7,8 @@
 //! CPU-only (Black-Scholes, Poisson), GPU-only bitonic (Sort), and
 //! hand-coded OpenCL (Convolution, Strassen).
 //!
-//! With `--registry <dir>` (or `PETAL_REGISTRY=<dir>`) every native tune
+//! With `--registry <endpoint>` (or `PETAL_REGISTRY=<endpoint>`) — a
+//! directory or a `petal-farmd --registry` service — every native tune
 //! is stored in the tuned-config registry, and the matrix gains a
 //! **repair-curve** table: for each (src→dst) pair, the migration
 //! penalty plus how fast a warm-started re-tune (generation 0 seeded
@@ -18,13 +19,13 @@
 //! saving is the difference.
 //!
 //! Usage: `fig7_migration [benchmark-substring] [--full] [--shards N]
-//! [--registry <dir>]`
+//! [--registry <endpoint>]`
 
 use petal_apps::workload::smoke_mode;
 use petal_apps::Benchmark;
 use petal_bench::{
     baselines, full_flag, harness_benchmarks, harness_tuner_settings, positional_args,
-    registry_flag, row, store_tuned, tune,
+    registry_store, row, store_tuned, tune,
 };
 use petal_core::Config;
 use petal_gpu::profile::MachineProfile;
@@ -117,7 +118,8 @@ fn repair_table(
 
 fn main() {
     let filter: Option<String> = positional_args().first().map(|s| s.to_lowercase());
-    let registry = registry_flag();
+    // A directory or a served registry — the same store from here on.
+    let registry = registry_store();
     // The extended matrix: the paper's three machines plus the iGPU and
     // ManyCore extension profiles (migration penalties are sharpest when
     // the device balance differs most).
@@ -134,9 +136,9 @@ fn main() {
         // Tune natively on each machine.
         let tuned: Vec<_> = machines.iter().map(|m| tune(&*bench, m)).collect();
         let native: Vec<f64> = tuned.iter().map(|t| t.time_secs).collect();
-        if let Some(dir) = &registry {
+        if let Some(store) = &registry {
             for (m, t) in machines.iter().zip(&tuned) {
-                store_tuned(dir, &*bench, m, t, "fig7");
+                store_tuned(&**store, &*bench, m, t, "fig7");
             }
         }
 

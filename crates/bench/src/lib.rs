@@ -16,10 +16,10 @@
 //! correspond to); pass `--full` for the paper's input sizes.
 
 use petal_apps::Benchmark;
+use petal_farm::net::Endpoint;
 use petal_gpu::profile::MachineProfile;
-use petal_registry::Registry;
+use petal_registry::{ConfigStore, DirStore, RemoteStore};
 use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
-use std::path::PathBuf;
 
 pub mod baselines;
 
@@ -55,13 +55,17 @@ pub struct HarnessArgs {
     pub shards: usize,
     /// `--farmd <endpoint>` / `--farmd=<endpoint>` (or
     /// `PETAL_FARMD=<endpoint>`): evaluate against the `petal-farmd`
-    /// dispatcher at `host:port` or `unix:<path>`. Wins over `--shards`.
-    pub farmd: Option<String>,
-    /// `--registry <dir>` / `--registry=<dir>` (or
-    /// `PETAL_REGISTRY=<dir>`): the tuned-config registry directory.
+    /// dispatcher at `host:port`, `tcp:host:port` or `unix:<path>`.
+    /// Wins over `--shards`. Both endpoint flags go through the one
+    /// [`Endpoint`] grammar, so a form that works here works everywhere.
+    pub farmd: Option<Endpoint>,
+    /// `--registry <endpoint>` / `--registry=<endpoint>` (or
+    /// `PETAL_REGISTRY=<endpoint>`): the tuned-config registry — a local
+    /// directory (`dir:<path>`, or a bare path) or a
+    /// `petal-farmd --registry` service (`tcp:host:port` / `unix:<path>`).
     /// Harnesses that support it store their tunes there and warm-start
     /// re-tuning from it (`fig7_migration`'s repair curves).
-    pub registry: Option<PathBuf>,
+    pub registry: Option<Endpoint>,
     /// Everything else, in order (e.g. `fig7_migration`'s name filter).
     pub positionals: Vec<String>,
 }
@@ -72,7 +76,8 @@ impl HarnessArgs {
     ///
     /// # Errors
     /// A human-readable message for a missing or non-integer `--shards`
-    /// value, or a missing `--farmd` value.
+    /// value, or a missing or malformed `--farmd` / `--registry`
+    /// endpoint.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         Self::parse_with_env(
             args,
@@ -97,12 +102,25 @@ impl HarnessArgs {
                 format!("bad shard count `{raw}`; expected `--shards <N>` (or PETAL_SHARDS=<N>)")
             })
         };
-        // `--farmd none` is the escape hatch back to local evaluation
-        // when PETAL_FARMD is exported in the environment.
-        let parse_farmd = |raw: &str| if raw == "none" { None } else { Some(raw.to_owned()) };
-        // `--registry none` likewise disables a PETAL_REGISTRY export.
-        let parse_registry =
-            |raw: &str| if raw == "none" { None } else { Some(PathBuf::from(raw)) };
+        // Both endpoint flags share the one `Endpoint` grammar; `none`
+        // (`Endpoint::Disabled`) is the escape hatch back to local
+        // operation when PETAL_FARMD / PETAL_REGISTRY are exported.
+        let parse_farmd = |raw: &str| -> Result<Option<Endpoint>, String> {
+            match Endpoint::parse(raw)? {
+                Endpoint::Disabled => Ok(None),
+                Endpoint::Dir(d) => Err(format!(
+                    "--farmd needs a dispatcher socket, not the directory `{}`",
+                    d.display()
+                )),
+                e => Ok(Some(e)),
+            }
+        };
+        let parse_registry = |raw: &str| -> Result<Option<Endpoint>, String> {
+            match Endpoint::parse_store(raw)? {
+                Endpoint::Disabled => Ok(None),
+                e => Ok(Some(e)),
+            }
+        };
         let mut out = HarnessArgs {
             full: false,
             shards: 0,
@@ -130,20 +148,20 @@ impl HarnessArgs {
                 }
                 "--farmd" => {
                     let raw = args.next().ok_or("--farmd is missing its value")?;
-                    out.farmd = parse_farmd(&raw);
+                    out.farmd = parse_farmd(&raw)?;
                     farmd_from_cli = true;
                 }
                 a if a.starts_with("--farmd=") => {
-                    out.farmd = parse_farmd(&a["--farmd=".len()..]);
+                    out.farmd = parse_farmd(&a["--farmd=".len()..])?;
                     farmd_from_cli = true;
                 }
                 "--registry" => {
                     let raw = args.next().ok_or("--registry is missing its value")?;
-                    out.registry = parse_registry(&raw);
+                    out.registry = parse_registry(&raw)?;
                     registry_from_cli = true;
                 }
                 a if a.starts_with("--registry=") => {
-                    out.registry = parse_registry(&a["--registry=".len()..]);
+                    out.registry = parse_registry(&a["--registry=".len()..])?;
                     registry_from_cli = true;
                 }
                 _ => out.positionals.push(a),
@@ -156,12 +174,12 @@ impl HarnessArgs {
         }
         if !farmd_from_cli {
             if let Some(raw) = env_farmd {
-                out.farmd = parse_farmd(raw);
+                out.farmd = parse_farmd(raw)?;
             }
         }
         if !registry_from_cli {
             if let Some(raw) = env_registry {
-                out.registry = parse_registry(raw);
+                out.registry = parse_registry(raw)?;
             }
         }
         Ok(out)
@@ -203,20 +221,23 @@ pub fn shards_flag() -> usize {
 
 /// `--farmd <endpoint>` flag (or `PETAL_FARMD=<endpoint>`) shared by the
 /// harness binaries: evaluate against the `petal-farmd` dispatcher at
-/// `host:port` or `unix:<path>` instead of local workers. Results are
-/// bit-identical to every local mode; `--farmd none` forces local
-/// evaluation when the environment variable is exported.
+/// `host:port`, `tcp:host:port` or `unix:<path>` instead of local
+/// workers. Results are bit-identical to every local mode; `--farmd
+/// none` forces local evaluation when the environment variable is
+/// exported.
 #[must_use]
-pub fn farmd_flag() -> Option<String> {
+pub fn farmd_flag() -> Option<Endpoint> {
     HarnessArgs::from_env().farmd
 }
 
-/// `--registry <dir>` flag (or `PETAL_REGISTRY=<dir>`) shared by the
-/// harness binaries: the tuned-config registry directory. `--registry
-/// none` forces registry-free operation when the environment variable is
-/// exported.
+/// `--registry <endpoint>` flag (or `PETAL_REGISTRY=<endpoint>`) shared
+/// by the harness binaries: the tuned-config registry, either a local
+/// directory (`dir:<path>` or a bare path) or a served registry
+/// (`tcp:host:port` / `unix:<path>`, a `petal-farmd --registry`
+/// dispatcher). `--registry none` forces registry-free operation when
+/// the environment variable is exported.
 #[must_use]
-pub fn registry_flag() -> Option<PathBuf> {
+pub fn registry_flag() -> Option<Endpoint> {
     HarnessArgs::from_env().registry
 }
 
@@ -233,7 +254,7 @@ pub fn positional_args() -> Vec<String> {
 #[must_use]
 pub fn harness_farm_settings() -> petal_farm::FarmSettings {
     if let Some(endpoint) = farmd_flag() {
-        return petal_farm::FarmSettings::remote(endpoint);
+        return petal_farm::FarmSettings::remote(endpoint.to_string());
     }
     match shards_flag() {
         0 => petal_farm::FarmSettings::host_parallel(),
@@ -290,25 +311,63 @@ pub fn tune(bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
     Autotuner::new(bench, machine, harness_tuner_settings()).run()
 }
 
-/// The registry's nearest stored config for `(machine, bench)` as a
-/// tuner [`WarmStart`], with a provenance label naming the match tier
-/// and donor machine (`registry:family:Laptop`). `None` when the
-/// registry has no entry for this benchmark and size (or `dir` cannot
-/// be opened — a warm start is an optimization, never a hard failure,
-/// but the miss is reported on stderr so an operator sees why a run
-/// tuned cold).
+/// Open the config store a registry endpoint names: `dir:` endpoints
+/// open the directory in-process, `tcp:`/`unix:` endpoints connect to a
+/// `petal-farmd --registry` dispatcher. The two are indistinguishable
+/// behind the returned [`ConfigStore`].
+///
+/// # Errors
+/// A human-readable message when the directory cannot be opened, the
+/// service cannot be reached, or the endpoint is `none`.
+pub fn open_config_store(endpoint: &Endpoint) -> Result<Box<dyn ConfigStore>, String> {
+    match endpoint {
+        Endpoint::Dir(dir) => DirStore::open(dir.clone())
+            .map(|s| Box::new(s) as Box<dyn ConfigStore>)
+            .map_err(|e| format!("cannot open registry directory `{}`: {e}", dir.display())),
+        Endpoint::Disabled => Err("the registry is disabled (`none`)".to_owned()),
+        remote => RemoteStore::connect(remote)
+            .map(|s| Box::new(s) as Box<dyn ConfigStore>)
+            .map_err(|e| format!("cannot reach the registry service at `{remote}`: {e}")),
+    }
+}
+
+/// The store `--registry`/`PETAL_REGISTRY` names, opened, or `None`
+/// with a stderr warning when it cannot be (the registry is an
+/// optimization — an unreachable one must not kill a harness run).
+#[must_use]
+pub fn registry_store() -> Option<Box<dyn ConfigStore>> {
+    let endpoint = registry_flag()?;
+    match open_config_store(&endpoint) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("warning: {e}");
+            None
+        }
+    }
+}
+
+/// The store's nearest config for `(machine, bench)` as a tuner
+/// [`WarmStart`], with a provenance label naming the match tier and
+/// donor machine (`registry:family:Laptop`; cross-size donors append
+/// the size they were rescaled from). `None` when the store has no
+/// usable entry — a warm start is an optimization, never a hard
+/// failure, but store errors are reported on stderr so an operator
+/// sees why a run tuned cold.
 #[must_use]
 pub fn registry_warm_start(
-    dir: &std::path::Path,
+    store: &dyn ConfigStore,
     machine: &MachineProfile,
     bench: &dyn Benchmark,
 ) -> Option<WarmStart> {
-    let lookup =
-        Registry::open(dir).and_then(|reg| reg.lookup(machine, &bench.spec(), bench.input_size()));
-    match lookup {
+    match store.lookup(machine, &bench.spec(), bench.input_size(), false) {
         Ok(Some(m)) => Some(WarmStart {
+            source: match m.scaled_from {
+                None => format!("registry:{}:{}", m.tier, m.entry.machine.codename),
+                Some(size) => {
+                    format!("registry:{}:{}:from-size-{size}", m.tier, m.entry.machine.codename)
+                }
+            },
             config: m.entry.config,
-            source: format!("registry:{}:{}", m.tier, m.entry.machine.codename),
         }),
         Ok(None) => None,
         Err(e) => {
@@ -318,25 +377,29 @@ pub fn registry_warm_start(
     }
 }
 
-/// Autotune with a warm start from the registry at `dir` (when it has a
-/// usable donor), then offer the improved result back to the registry
-/// with keep-best semantics — the tune → store → warm-start loop one
-/// deployment iteration performs.
+/// Autotune with a warm start from `store` (when it has a usable
+/// donor), then offer the improved result back with keep-best semantics
+/// — the tune → store → warm-start loop one deployment iteration
+/// performs, against a local directory and a served registry alike.
 #[must_use]
-pub fn tune_warm(dir: &std::path::Path, bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
+pub fn tune_warm(
+    store: &dyn ConfigStore,
+    bench: &dyn Benchmark,
+    machine: &MachineProfile,
+) -> Tuned {
     let settings = TunerSettings {
-        warm_start: registry_warm_start(dir, machine, bench),
+        warm_start: registry_warm_start(store, machine, bench),
         ..harness_tuner_settings()
     };
     let tuned = Autotuner::new(bench, machine, settings).run();
-    store_tuned(dir, bench, machine, &tuned, "tune_warm");
+    store_tuned(store, bench, machine, &tuned, "tune_warm");
     tuned
 }
 
-/// Offer a tuning result to the registry at `dir` (keep-best). Failures
-/// are reported, not fatal: a read-only registry must not kill a run.
+/// Offer a tuning result to `store` (keep-best). Failures are reported,
+/// not fatal: a read-only registry must not kill a run.
 pub fn store_tuned(
-    dir: &std::path::Path,
+    store: &dyn ConfigStore,
     bench: &dyn Benchmark,
     machine: &MachineProfile,
     tuned: &Tuned,
@@ -350,8 +413,7 @@ pub fn store_tuned(
         time_secs: tuned.time_secs,
         source: source.to_owned(),
     };
-    let outcome = Registry::open(dir).and_then(|reg| reg.put(&entry));
-    if let Err(e) = outcome {
+    if let Err(e) = store.put(&entry, false) {
         eprintln!("warning: could not store tuned config: {e}");
     }
 }
@@ -414,16 +476,19 @@ mod tests {
         assert_eq!(a.shards, 2);
         assert!(a.positionals.is_empty(), "--shards=N is a flag, not a filter");
         let a = parse(&["--farmd", "127.0.0.1:7777"]).expect("parses");
-        assert_eq!(a.farmd.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(a.farmd, Some(Endpoint::Tcp("127.0.0.1:7777".to_owned())));
         let a = parse(&["--farmd=unix:/tmp/farm.sock", "scholes"]).expect("parses");
-        assert_eq!(a.farmd.as_deref(), Some("unix:/tmp/farm.sock"));
+        assert_eq!(a.farmd, Some(Endpoint::Unix("/tmp/farm.sock".into())));
         assert_eq!(a.positionals, vec!["scholes".to_owned()]);
         let a = parse(&["--registry", "/tmp/reg", "scholes"]).expect("parses");
-        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/tmp/reg")));
+        assert_eq!(a.registry, Some(Endpoint::Dir("/tmp/reg".into())));
         assert_eq!(a.positionals, vec!["scholes".to_owned()]);
-        let a = parse(&["--registry=/tmp/reg2"]).expect("parses");
-        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/tmp/reg2")));
+        let a = parse(&["--registry=dir:/tmp/reg2"]).expect("parses");
+        assert_eq!(a.registry, Some(Endpoint::Dir("/tmp/reg2".into())));
         assert!(a.positionals.is_empty(), "--registry=DIR is a flag, not a filter");
+        // A served registry is the same flag, different endpoint form.
+        let a = parse(&["--registry", "tcp:127.0.0.1:7777"]).expect("parses");
+        assert_eq!(a.registry, Some(Endpoint::Tcp("127.0.0.1:7777".to_owned())));
     }
 
     #[test]
@@ -433,6 +498,17 @@ mod tests {
         assert!(parse(&["--shards=x"]).is_err(), "non-integer inline value");
         assert!(parse(&["--farmd"]).is_err(), "missing endpoint value");
         assert!(parse(&["--registry"]).is_err(), "missing registry value");
+    }
+
+    #[test]
+    fn harness_args_reject_malformed_endpoints_loudly() {
+        let e = parse(&["--farmd", "tcp:nohost"]).expect_err("port required");
+        assert!(e.contains("missing its port"), "{e}");
+        let e = parse(&["--farmd", "dir:/srv/reg"]).expect_err("farmd is a socket");
+        assert!(e.contains("dispatcher socket"), "{e}");
+        // The same grammar misparse is loud through the env path too.
+        assert!(parse_env(&[], None, Some("tcp:nohost"), None).is_err());
+        assert!(parse_env(&[], None, None, Some("tcp:nohost")).is_err());
     }
 
     fn parse_env(
@@ -459,10 +535,10 @@ mod tests {
             parse_env(&["--farmd", "none"], None, Some("127.0.0.1:7777"), None).expect("parses");
         assert_eq!(a.farmd, None, "CLI escape hatch wins");
         let a = parse_env(&[], None, Some("127.0.0.1:7777"), None).expect("parses");
-        assert_eq!(a.farmd.as_deref(), Some("127.0.0.1:7777"), "env applies");
+        assert_eq!(a.farmd, Some(Endpoint::Tcp("127.0.0.1:7777".to_owned())), "env applies");
         let a =
             parse_env(&["--farmd", "unix:/s"], None, Some("127.0.0.1:1"), None).expect("parses");
-        assert_eq!(a.farmd.as_deref(), Some("unix:/s"), "flag beats env");
+        assert_eq!(a.farmd, Some(Endpoint::Unix("/s".into())), "flag beats env");
     }
 
     #[test]
@@ -470,9 +546,12 @@ mod tests {
         let a = parse_env(&["--registry", "none"], None, None, Some("/srv/reg")).expect("parses");
         assert_eq!(a.registry, None, "CLI escape hatch wins");
         let a = parse_env(&[], None, None, Some("/srv/reg")).expect("parses");
-        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/srv/reg")), "env applies");
+        assert_eq!(a.registry, Some(Endpoint::Dir("/srv/reg".into())), "env applies");
         let a = parse_env(&["--registry=/cli/reg"], None, None, Some("/srv/reg")).expect("parses");
-        assert_eq!(a.registry.as_deref(), Some(std::path::Path::new("/cli/reg")), "flag beats env");
+        assert_eq!(a.registry, Some(Endpoint::Dir("/cli/reg".into())), "flag beats env");
+        // Served endpoints ride the same env-vs-flag path as directories.
+        let a = parse_env(&[], None, None, Some("tcp:10.0.0.1:7777")).expect("parses");
+        assert_eq!(a.registry, Some(Endpoint::Tcp("10.0.0.1:7777".to_owned())), "env applies");
     }
 
     #[test]
@@ -482,8 +561,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let bench = BlackScholes::new(50_000);
         let machine = MachineProfile::desktop();
+        let store = DirStore::open(&dir).expect("open");
         assert!(
-            registry_warm_start(&dir, &machine, &bench).is_none(),
+            registry_warm_start(&store, &machine, &bench).is_none(),
             "empty registry yields no warm start"
         );
         let settings = TunerSettings {
@@ -491,8 +571,8 @@ mod tests {
             ..TunerSettings::smoke()
         };
         let tuned = Autotuner::new(&bench, &machine, settings).run();
-        store_tuned(&dir, &bench, &machine, &tuned, "unit-test");
-        let ws = registry_warm_start(&dir, &machine, &bench).expect("stored entry found");
+        store_tuned(&store, &bench, &machine, &tuned, "unit-test");
+        let ws = registry_warm_start(&store, &machine, &bench).expect("stored entry found");
         assert_eq!(ws.config, tuned.config);
         assert_eq!(ws.source, "registry:exact:Desktop");
         let _ = std::fs::remove_dir_all(&dir);

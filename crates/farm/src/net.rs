@@ -3,12 +3,20 @@
 //!
 //! The [`crate::wire`] format is transport-agnostic (line-delimited
 //! records); this module supplies the two stream transports the tuning
-//! farm serves: **TCP** (`host:port`) for cross-machine pools and
-//! **unix-domain sockets** (`unix:<path>`) for same-host pools with no
-//! network stack in the loop. [`Endpoint`] is the parsed form of the one
-//! string an operator configures (`--listen`, `--connect`,
-//! `PETAL_FARMD`); [`FarmListener`] and [`FarmStream`] erase the
-//! transport so everything above this module is written once.
+//! farm serves: **TCP** (`tcp:host:port`, or bare `host:port`) for
+//! cross-machine pools and **unix-domain sockets** (`unix:<path>`) for
+//! same-host pools with no network stack in the loop. [`Endpoint`] is
+//! the parsed form of the one string an operator configures (`--listen`,
+//! `--connect`, `--farmd`/`PETAL_FARMD`, `--registry`/`PETAL_REGISTRY`);
+//! [`FarmListener`] and [`FarmStream`] erase the transport so everything
+//! above this module is written once.
+//!
+//! Two endpoint forms never open a socket: `dir:<path>` names a local
+//! directory-backed store (the registry's on-disk form) and `none`
+//! explicitly disables a facility (`--farmd none` forces local
+//! evaluation; `--registry none` forces a cold run). They exist so
+//! every flag that accepts an endpoint shares this one grammar and one
+//! parser instead of growing per-flag dialects.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -16,33 +24,73 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// A parsed farm endpoint: where a dispatcher listens and workers/clients
-/// connect.
+/// A parsed endpoint: where a dispatcher listens, workers/clients
+/// connect, a store lives, or an explicit "nothing here".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Endpoint {
-    /// A TCP address in `host:port` form.
+    /// A TCP address in `host:port` form (`tcp:host:port` or bare
+    /// `host:port` on the command line).
     Tcp(String),
     /// A unix-domain socket path (`unix:<path>` on the command line).
     Unix(PathBuf),
+    /// A local directory (`dir:<path>` on the command line) — no socket;
+    /// names an on-disk store such as the registry's directory form.
+    Dir(PathBuf),
+    /// The explicit "off" endpoint (`none` on the command line): the
+    /// escape hatch that beats an environment default.
+    Disabled,
 }
 
 impl Endpoint {
-    /// Parse an endpoint string: `unix:<path>` selects a unix-domain
-    /// socket, anything containing a `:` is a TCP `host:port`.
+    /// Parse an endpoint string: `tcp:<host:port>` (or bare `host:port`)
+    /// selects TCP, `unix:<path>` a unix-domain socket, `dir:<path>` a
+    /// local directory, and the literal `none` the disabled endpoint.
     ///
     /// # Errors
-    /// A human-readable message when the string fits neither form.
+    /// A human-readable message when the string fits no form.
     pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if s == "none" {
+            return Ok(Endpoint::Disabled);
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if !addr.contains(':') {
+                return Err(format!("tcp endpoint `{addr}` is missing its port (`tcp:host:port`)"));
+            }
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
         if let Some(path) = s.strip_prefix("unix:") {
             if path.is_empty() {
                 return Err("unix endpoint is missing its path (`unix:/some/path`)".to_owned());
             }
             return Ok(Endpoint::Unix(PathBuf::from(path)));
         }
+        if let Some(path) = s.strip_prefix("dir:") {
+            if path.is_empty() {
+                return Err("dir endpoint is missing its path (`dir:/some/path`)".to_owned());
+            }
+            return Ok(Endpoint::Dir(PathBuf::from(path)));
+        }
         if s.contains(':') {
             return Ok(Endpoint::Tcp(s.to_owned()));
         }
-        Err(format!("bad endpoint `{s}`; expected `host:port` or `unix:<path>`"))
+        Err(format!(
+            "bad endpoint `{s}`; expected `tcp:host:port` (or `host:port`), \
+             `unix:<path>`, `dir:<path>`, or `none`"
+        ))
+    }
+
+    /// Like [`Self::parse`], but a bare string with no `:` is taken as a
+    /// `dir:` path — the historical `--registry <dir>` spelling, kept so
+    /// existing scripts and docs stay valid. Prefix with `dir:` to name
+    /// a directory whose path contains a colon.
+    ///
+    /// # Errors
+    /// A human-readable message when the string fits no form.
+    pub fn parse_store(s: &str) -> Result<Endpoint, String> {
+        if !s.is_empty() && !s.contains(':') && s != "none" {
+            return Ok(Endpoint::Dir(PathBuf::from(s)));
+        }
+        Self::parse(s)
     }
 }
 
@@ -51,6 +99,8 @@ impl std::fmt::Display for Endpoint {
         match self {
             Endpoint::Tcp(addr) => write!(f, "{addr}"),
             Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Dir(path) => write!(f, "dir:{}", path.display()),
+            Endpoint::Disabled => f.write_str("none"),
         }
     }
 }
@@ -74,7 +124,8 @@ impl FarmListener {
     /// unix-socket file at the path is removed first.
     ///
     /// # Errors
-    /// The underlying `bind(2)` failure.
+    /// The underlying `bind(2)` failure; `dir:`/`none` endpoints are not
+    /// listenable and fail with `InvalidInput`.
     pub fn bind(endpoint: &Endpoint) -> io::Result<FarmListener> {
         let listener = match endpoint {
             Endpoint::Tcp(addr) => FarmListener::Tcp(TcpListener::bind(addr.as_str())?),
@@ -84,6 +135,12 @@ impl FarmListener {
                 // operator-friendly behavior.
                 let _ = std::fs::remove_file(path);
                 FarmListener::Unix(UnixListener::bind(path)?, path.clone())
+            }
+            Endpoint::Dir(_) | Endpoint::Disabled => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("endpoint `{endpoint}` is not a socket; cannot listen on it"),
+                ))
             }
         };
         match &listener {
@@ -148,11 +205,18 @@ impl FarmStream {
     /// Connect to `endpoint` once.
     ///
     /// # Errors
-    /// The underlying `connect(2)` failure.
+    /// The underlying `connect(2)` failure; `dir:`/`none` endpoints are
+    /// not sockets and fail with `InvalidInput`.
     pub fn connect(endpoint: &Endpoint) -> io::Result<FarmStream> {
         Ok(match endpoint {
             Endpoint::Tcp(addr) => FarmStream::Tcp(TcpStream::connect(addr.as_str())?),
             Endpoint::Unix(path) => FarmStream::Unix(UnixStream::connect(path)?),
+            Endpoint::Dir(_) | Endpoint::Disabled => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("endpoint `{endpoint}` is not a socket; cannot connect to it"),
+                ))
+            }
         })
     }
 
@@ -254,11 +318,43 @@ mod tests {
     #[test]
     fn endpoints_parse_and_display() {
         assert_eq!(Endpoint::parse("127.0.0.1:7777"), Ok(Endpoint::Tcp("127.0.0.1:7777".into())));
+        assert_eq!(Endpoint::parse("tcp:127.0.0.1:80"), Ok(Endpoint::Tcp("127.0.0.1:80".into())));
         assert_eq!(Endpoint::parse("unix:/tmp/x.sock"), Ok(Endpoint::Unix("/tmp/x.sock".into())));
+        assert_eq!(Endpoint::parse("dir:/srv/reg"), Ok(Endpoint::Dir("/srv/reg".into())));
+        assert_eq!(Endpoint::parse("none"), Ok(Endpoint::Disabled));
         assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("dir:").is_err());
+        assert!(Endpoint::parse("tcp:portless").is_err());
         assert!(Endpoint::parse("nocolon").is_err());
         assert_eq!(Endpoint::parse("unix:/tmp/x.sock").unwrap().to_string(), "unix:/tmp/x.sock");
         assert_eq!(Endpoint::parse("[::1]:80").unwrap().to_string(), "[::1]:80");
+        assert_eq!(Endpoint::parse("dir:/srv/reg").unwrap().to_string(), "dir:/srv/reg");
+        assert_eq!(Endpoint::parse("none").unwrap().to_string(), "none");
+    }
+
+    #[test]
+    fn store_parsing_defaults_bare_paths_to_directories() {
+        // The historical `--registry <dir>` spelling: no colon ⇒ a dir.
+        assert_eq!(Endpoint::parse_store("/srv/reg"), Ok(Endpoint::Dir("/srv/reg".into())));
+        assert_eq!(Endpoint::parse_store("relative"), Ok(Endpoint::Dir("relative".into())));
+        // Everything with a scheme (or a bare host:port) keeps the strict
+        // grammar, so a served registry is one prefix away.
+        assert_eq!(Endpoint::parse_store("none"), Ok(Endpoint::Disabled));
+        assert_eq!(Endpoint::parse_store("tcp:h:1"), Ok(Endpoint::Tcp("h:1".into())));
+        assert_eq!(Endpoint::parse_store("h:1"), Ok(Endpoint::Tcp("h:1".into())));
+        assert_eq!(Endpoint::parse_store("unix:/s.sock"), Ok(Endpoint::Unix("/s.sock".into())));
+        assert_eq!(Endpoint::parse_store("dir:a:b"), Ok(Endpoint::Dir("a:b".into())));
+        assert!(Endpoint::parse_store("").is_err());
+    }
+
+    #[test]
+    fn non_socket_endpoints_refuse_to_bind_or_connect() {
+        for ep in [Endpoint::Dir("/tmp/x".into()), Endpoint::Disabled] {
+            let bind = FarmListener::bind(&ep).expect_err("bind must fail");
+            assert_eq!(bind.kind(), io::ErrorKind::InvalidInput);
+            let connect = FarmStream::connect(&ep).expect_err("connect must fail");
+            assert_eq!(connect.kind(), io::ErrorKind::InvalidInput);
+        }
     }
 
     #[test]

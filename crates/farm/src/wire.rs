@@ -8,10 +8,11 @@
 //! and deliberately tiny:
 //!
 //! * **One record per line.** A record is a `TAG` followed by zero or more
-//!   fields, terminated by `\n`. Tags are upper-case ASCII
-//!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`, and — since wire version
-//!   2, for the socket-served farm — `HELLO`, `REGISTER`, `HEARTBEAT`,
-//!   `GOODBYE`).
+//!   fields, terminated by `\n`. Tags are upper-case ASCII plus `_`
+//!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`; since wire version 2,
+//!   for the socket-served farm, `HELLO`, `REGISTER`, `HEARTBEAT`,
+//!   `GOODBYE`; since version 3, for the served config registry,
+//!   `REG_GET`, `REG_PUT`, `REG_HIT`, `REG_MISS`).
 //! * **Length-prefixed fields.** Each field is ` <len>:<bytes>` where
 //!   `len` is the decimal byte length of `<bytes>` *after* escaping. The
 //!   prefix makes spaces inside fields unambiguous without quoting.
@@ -49,6 +50,18 @@
 //! **client** (the tuner) follows its `HELLO` with the same
 //! `INIT`/`JOB`/`RESULT`/`DONE` flow as a pipe session, except `RESULT`s
 //! may arrive in any order (the dispatcher merges many workers).
+//!
+//! Registry message flow (version 3, see `docs/registry.md`): after the
+//! `HELLO` exchange a **registry client** sends `REG_GET` (a lookup,
+//! listing or gc query) or `REG_PUT` (publish one tuned entry) records;
+//! the dispatcher answers each `REG_GET` with one `REG_HIT` (or a
+//! `REG_HIT` stream for listings) terminated/answered by `REG_MISS`, and
+//! each `REG_PUT` with a `REG_HIT` carrying the entry that now wins the
+//! key — so a publisher that lost a keep-best race receives the better
+//! config in the acknowledgement. `DONE` (or EOF) ends the session.
+//! Keep-best merge and persistence happen dispatcher-side, so
+//! concurrent `REG_PUT`s from many clients are serialized and
+//! deterministic.
 
 use crate::{EvalJob, JobOutcome};
 use petal_core::Config;
@@ -58,12 +71,14 @@ use std::fmt;
 /// Protocol version spoken by this build (bumped on any wire change).
 /// Version 2 added the socket-served farm records (`HELLO`, `REGISTER`,
 /// `HEARTBEAT`, `GOODBYE`) and out-of-order `RESULT` delivery to
-/// clients.
-pub const WIRE_VERSION: u64 = 2;
+/// clients. Version 3 added the served-registry records (`REG_GET`,
+/// `REG_PUT`, `REG_HIT`, `REG_MISS`).
+pub const WIRE_VERSION: u64 = 3;
 
-/// Oldest protocol version this build still speaks. Version 2 is a pure
-/// superset of version 1 (the pipe records are unchanged), so a v2
-/// worker serves a v1 parent.
+/// Oldest protocol version this build still speaks. Each version is a
+/// pure superset of the one before (older records are unchanged), so a
+/// v3 worker serves a v1 parent and a v3 dispatcher serves v2 peers —
+/// they simply never see a registry record.
 pub const MIN_WIRE_VERSION: u64 = 1;
 
 /// Settle a common wire version from two advertised `min..=max` ranges:
@@ -201,7 +216,7 @@ impl Record {
             Some((t, r)) => (t, r),
             None => (line, ""),
         };
-        if tag.is_empty() || !tag.bytes().all(|b| b.is_ascii_uppercase()) {
+        if tag.is_empty() || !tag.bytes().all(|b| b.is_ascii_uppercase() || b == b'_') {
             return Err(WireError::new(format!("bad tag `{tag}`")));
         }
         let mut fields = Vec::new();
@@ -353,6 +368,41 @@ impl WireEncoder {
                 out.push_str("GOODBYE");
                 push_field_raw(out, reason);
             }
+            Message::RegGet { op, bench_spec, size, machine } => {
+                out.push_str("REG_GET");
+                push_field_raw(out, op);
+                push_field_raw(out, bench_spec);
+                self.field_display(out, size);
+                match machine {
+                    None => push_field_raw(out, "0"),
+                    Some(m) => {
+                        push_field_raw(out, "1");
+                        self.encode_machine_into(m, out);
+                    }
+                }
+            }
+            Message::RegPut { force, entry } => {
+                out.push_str("REG_PUT");
+                self.field_display(out, u64::from(*force));
+                self.encode_reg_entry_into(entry, out);
+            }
+            Message::RegHit { verdict, distance, scaled_from, entry } => {
+                out.push_str("REG_HIT");
+                push_field_raw(out, verdict);
+                self.field_f64(out, *distance);
+                match scaled_from {
+                    None => push_field_raw(out, "0"),
+                    Some(size) => {
+                        push_field_raw(out, "1");
+                        self.field_display(out, size);
+                    }
+                }
+                self.encode_reg_entry_into(entry, out);
+            }
+            Message::RegMiss { reason } => {
+                out.push_str("REG_MISS");
+                push_field_raw(out, reason);
+            }
         }
     }
 
@@ -370,6 +420,19 @@ impl WireEncoder {
         self.scratch.clear();
         petal_apps::spec_f64_into(v, &mut self.scratch);
         push_field_raw(out, &self.scratch);
+    }
+
+    /// Flatten a registry entry into wire fields (fixed order, the exact
+    /// inverse of `decode_reg_entry`). The config travels as one text
+    /// field in its canonical format, like a `JOB`'s; the machine is
+    /// flattened like an `INIT`'s.
+    fn encode_reg_entry_into(&mut self, e: &RegEntry, out: &mut String) {
+        push_field_raw(out, &e.bench_spec);
+        self.field_display(out, e.size);
+        self.field_f64(out, e.time_secs);
+        push_field_raw(out, &e.source);
+        self.field_display(out, &e.config);
+        self.encode_machine_into(&e.machine, out);
     }
 
     /// Flatten a machine profile into wire fields (fixed order, the exact
@@ -484,6 +547,79 @@ pub enum Message {
         /// Human-readable reason for the disconnect.
         reason: String,
     },
+    /// Registry client → dispatcher (v3): one registry query. `get` and
+    /// `exact` queries carry the spec/size/machine key; `ls` and `gc`
+    /// ignore those fields (send empty/zero/absent).
+    RegGet {
+        /// Query kind: `get` (nearest-key lookup), `exact` (exact
+        /// fingerprint only), `ls` (stream every entry), `gc` (sweep
+        /// unusable files).
+        op: String,
+        /// [`petal_apps::Benchmark::spec`] line being looked up.
+        bench_spec: String,
+        /// Input size being looked up.
+        size: u64,
+        /// The querying machine (presence-flagged; absent for `ls`/`gc`).
+        machine: Option<Box<MachineProfile>>,
+    },
+    /// Registry client → dispatcher (v3): publish one tuned entry. The
+    /// dispatcher merges keep-best under its own lock and answers with a
+    /// [`Message::RegHit`] carrying whichever entry now wins the key.
+    RegPut {
+        /// Overwrite even a better stored time (the CLI's `put --force`).
+        force: bool,
+        /// The entry being published.
+        entry: Box<RegEntry>,
+    },
+    /// Dispatcher → registry client (v3): one stored entry. Answers a
+    /// `get`/`exact` query (verdict = match tier), acknowledges a
+    /// `REG_PUT` (verdict = keep-best outcome), and streams `ls` rows
+    /// (verdict = `ls`).
+    RegHit {
+        /// `exact`/`family`/`fallback` for lookups,
+        /// `inserted`/`replaced`/`kept-existing` for put acks, `ls` for
+        /// listing rows.
+        verdict: String,
+        /// Machine distance of the match (0 for exact hits, put acks and
+        /// listings).
+        distance: f64,
+        /// When the donor was rescaled from another input size, the size
+        /// it was stored under (presence-flagged).
+        scaled_from: Option<u64>,
+        /// The entry itself.
+        entry: Box<RegEntry>,
+    },
+    /// Dispatcher → registry client (v3): no entry. Answers a missed
+    /// `get`/`exact`, terminates an `ls` stream, reports a `gc` sweep,
+    /// and carries per-query failures. The first line of `reason` is the
+    /// headline; any further lines are per-item diagnostics (`ls`
+    /// issues, `gc` removals). A reason starting with `error:` is a
+    /// store failure, not a miss.
+    RegMiss {
+        /// Human-readable outcome, newline-separated as described above.
+        reason: String,
+    },
+}
+
+/// A tuned-config registry entry as it travels in [`Message::RegPut`]
+/// and [`Message::RegHit`] — the wire-level mirror of the registry's
+/// stored entry, here so the transport does not depend on the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegEntry {
+    /// The machine the config was tuned on (full profile; its
+    /// fingerprint is the store key's machine component).
+    pub machine: Box<MachineProfile>,
+    /// [`petal_apps::Benchmark::spec`] line the config was tuned for.
+    pub bench_spec: String,
+    /// Input size the config was tuned at.
+    pub size: u64,
+    /// The tuned configuration.
+    pub config: Config,
+    /// Best virtual time the config achieved when stored (keep-best
+    /// compares these).
+    pub time_secs: f64,
+    /// Provenance note (who tuned it, from what donor).
+    pub source: String,
 }
 
 impl Message {
@@ -557,6 +693,27 @@ impl Message {
             }
             "HEARTBEAT" => Message::Heartbeat { seq: r.u64()? },
             "GOODBYE" => Message::Goodbye { reason: r.str()?.to_owned() },
+            "REG_GET" => {
+                let op = r.str()?.to_owned();
+                let bench_spec = r.str()?.to_owned();
+                let size = r.u64()?;
+                let machine =
+                    if r.bool()? { Some(Box::new(decode_machine(&mut r)?)) } else { None };
+                Message::RegGet { op, bench_spec, size, machine }
+            }
+            "REG_PUT" => {
+                let force = r.bool()?;
+                let entry = Box::new(decode_reg_entry(&mut r)?);
+                Message::RegPut { force, entry }
+            }
+            "REG_HIT" => {
+                let verdict = r.str()?.to_owned();
+                let distance = r.f64()?;
+                let scaled_from = if r.bool()? { Some(r.u64()?) } else { None };
+                let entry = Box::new(decode_reg_entry(&mut r)?);
+                Message::RegHit { verdict, distance, scaled_from, entry }
+            }
+            "REG_MISS" => Message::RegMiss { reason: r.str()?.to_owned() },
             tag => return Err(WireError::new(format!("unknown tag `{tag}`"))),
         };
         r.finish()?;
@@ -568,6 +725,17 @@ impl Message {
     pub fn hello() -> Message {
         Message::Hello { min_version: MIN_WIRE_VERSION, max_version: WIRE_VERSION }
     }
+}
+
+fn decode_reg_entry(r: &mut FieldReader<'_>) -> Result<RegEntry, WireError> {
+    let bench_spec = r.str()?.to_owned();
+    let size = r.u64()?;
+    let time_secs = r.f64()?;
+    let source = r.str()?.to_owned();
+    let config: Config =
+        r.str()?.parse().map_err(|e| WireError::new(format!("bad config in entry: {e}")))?;
+    let machine = Box::new(decode_machine(r)?);
+    Ok(RegEntry { machine, bench_spec, size, config, time_secs, source })
 }
 
 fn decode_machine(r: &mut FieldReader<'_>) -> Result<MachineProfile, WireError> {
@@ -690,6 +858,72 @@ mod tests {
             assert!(!line.contains('\n'));
             assert_eq!(Message::decode(&line).expect("decodes"), msg);
         }
+    }
+
+    #[test]
+    fn registry_records_round_trip() {
+        let mut config = Config::new();
+        config.set_selector("sort", Selector::new(vec![64, 4096], vec![2, 0, 1], 3));
+        config.set_tunable("merge_parallel_cutoff", Tunable::new(512, 1, 1 << 20));
+        let entry = RegEntry {
+            machine: Box::new(MachineProfile::laptop()),
+            bench_spec: "sort n=4096".to_owned(),
+            size: 4096,
+            config,
+            time_secs: 2.5e-3,
+            source: "tuned:Laptop\nwith a hostile\\source".to_owned(),
+        };
+        let messages = vec![
+            Message::RegGet {
+                op: "get".to_owned(),
+                bench_spec: "sort n=4096".to_owned(),
+                size: 4096,
+                machine: Some(Box::new(MachineProfile::desktop())),
+            },
+            Message::RegGet {
+                op: "ls".to_owned(),
+                bench_spec: String::new(),
+                size: 0,
+                machine: None,
+            },
+            Message::RegPut { force: false, entry: Box::new(entry.clone()) },
+            Message::RegHit {
+                verdict: "family".to_owned(),
+                distance: 3.75,
+                scaled_from: Some(1024),
+                entry: Box::new(entry.clone()),
+            },
+            Message::RegHit {
+                verdict: "inserted".to_owned(),
+                distance: 0.0,
+                scaled_from: None,
+                entry: Box::new(entry),
+            },
+            Message::RegMiss { reason: "no entry for `sort n=8192`\nsecond line".to_owned() },
+        ];
+        for msg in messages {
+            let line = msg.encode();
+            assert!(!line.contains('\n'), "records must stay line-delimited");
+            assert_eq!(Message::decode(&line).expect("decodes"), msg);
+        }
+    }
+
+    #[test]
+    fn underscored_tags_frame_but_arbitrary_punctuation_does_not() {
+        // v3 introduced `_` into the tag alphabet; the framing layer must
+        // accept it (REG_GET and friends) while still rejecting anything
+        // else outside upper-case ASCII.
+        let r = Record::new("REG_MISS", vec!["why".to_owned()]);
+        assert_eq!(Record::parse(&r.encode()).expect("parses"), r);
+        for bad in ["reg_get 1:x", "REG-GET 1:x", "REG GET 1:x", "_ 1:x 1:y", "R3G 1:x"] {
+            // `_` alone is a legal tag char, so `_ 1:x 1:y` frames; it
+            // must then die as an unknown tag, not a panic.
+            if let Ok(rec) = Record::parse(bad) {
+                assert!(Message::decode(&rec.encode()).is_err(), "`{bad}`");
+            }
+        }
+        assert!(Record::parse("REG-GET 1:x").is_err());
+        assert!(Record::parse("reg_get 1:x").is_err());
     }
 
     #[test]

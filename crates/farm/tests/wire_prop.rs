@@ -8,7 +8,7 @@
 
 use petal_core::config::{Selector, Tunable};
 use petal_core::Config;
-use petal_farm::wire::{negotiate, version_supported, Message, Record, WIRE_VERSION};
+use petal_farm::wire::{negotiate, version_supported, Message, Record, RegEntry, WIRE_VERSION};
 use petal_farm::{EvalJob, JobOutcome};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -48,6 +48,24 @@ fn config_from(raw: &[(u64, u64)], tunables: &[(i64, i64)]) -> Config {
         cfg.set_tunable(&format!("knob{i}"), Tunable::new(value, min, max));
     }
     cfg
+}
+
+/// Build a registry entry over hostile text fields and an arbitrary
+/// time bit pattern (keep-best times travel by bits, NaNs included).
+fn reg_entry(spec_seed: u64, size: u64, time_bits: u64, which: usize) -> RegEntry {
+    let mut machine = petal_gpu::profile::MachineProfile::extended().remove(which);
+    machine.codename = hostile_string(spec_seed.wrapping_add(2));
+    RegEntry {
+        machine: Box::new(machine),
+        bench_spec: hostile_string(spec_seed),
+        size,
+        config: config_from(
+            &[(size | 1, spec_seed)],
+            &[((spec_seed % 1000) as i64 - 500, (size % 1024) as i64)],
+        ),
+        time_secs: f64::from_bits(time_bits),
+        source: hostile_string(spec_seed.wrapping_add(1)),
+    }
 }
 
 proptest! {
@@ -176,6 +194,94 @@ proptest! {
     fn goodbye_messages_round_trip_hostile_reasons(reason_seed in any::<u64>()) {
         let msg = Message::Goodbye { reason: hostile_string(reason_seed) };
         prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    // ---- the v3 registry records (REG_GET/REG_PUT/REG_HIT/REG_MISS) ----
+
+    #[test]
+    fn reg_get_messages_round_trip_hostile_ops(
+        op_seed in any::<u64>(),
+        spec_seed in any::<u64>(),
+        size in any::<u64>(),
+        which in 0usize..5,
+        has_machine in any::<bool>(),
+    ) {
+        // The op and spec fields are free text on the wire — the server,
+        // not the framing, decides what a legal op is.
+        let msg = Message::RegGet {
+            op: hostile_string(op_seed),
+            bench_spec: hostile_string(spec_seed),
+            size,
+            machine: has_machine
+                .then(|| Box::new(petal_gpu::profile::MachineProfile::extended().remove(which))),
+        };
+        let line = msg.encode();
+        prop_assert!(!line.contains('\n'), "records must stay line-delimited");
+        prop_assert_eq!(Message::decode(&line).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn reg_put_and_hit_messages_round_trip_any_bit_pattern(
+        spec_seed in any::<u64>(),
+        size in any::<u64>(),
+        time_bits in any::<u64>(),
+        distance_bits in any::<u64>(),
+        scaled_size in any::<u64>(),
+        has_scaled in any::<bool>(),
+        force in any::<bool>(),
+        verdict_seed in any::<u64>(),
+        which in 0usize..5,
+    ) {
+        // Times and distances travel by bits, so NaN payloads defeat
+        // PartialEq; the encoding is bit-canonical, so a lossless round
+        // trip is exactly `encode ∘ decode = id` on the line.
+        let entry = Box::new(reg_entry(spec_seed, size, time_bits, which));
+        for msg in [
+            Message::RegPut { force, entry: entry.clone() },
+            Message::RegHit {
+                verdict: hostile_string(verdict_seed),
+                distance: f64::from_bits(distance_bits),
+                scaled_from: has_scaled.then_some(scaled_size),
+                entry,
+            },
+        ] {
+            let line = msg.encode();
+            prop_assert!(!line.contains('\n'), "records must stay line-delimited");
+            let decoded = Message::decode(&line).expect("decodes");
+            prop_assert_eq!(decoded.encode(), line, "re-encoding is lossless");
+        }
+    }
+
+    #[test]
+    fn reg_miss_messages_round_trip_hostile_reasons(reason_seed in any::<u64>()) {
+        // Miss reasons are multi-line reports client-side; the embedded
+        // newlines must survive the one-line framing.
+        let msg = Message::RegMiss { reason: hostile_string(reason_seed) };
+        prop_assert_eq!(Message::decode(&msg.encode()).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn truncated_registry_lines_never_panic_the_decoder(
+        spec_seed in any::<u64>(),
+        time_bits in any::<u64>(),
+        cut_seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        // A hostile or half-written line must come back as Ok or Err,
+        // never a panic — the dispatcher feeds these straight off sockets.
+        let line = Message::RegPut {
+            force: false,
+            entry: Box::new(reg_entry(spec_seed, 4096, time_bits, 0)),
+        }
+        .encode();
+        let boundaries: Vec<usize> = line.char_indices().map(|(i, _)| i).collect();
+        let truncated = &line[..boundaries[(cut_seed % boundaries.len() as u64) as usize]];
+        let _ = Message::decode(truncated);
+        // And with one character replaced by a framing-hostile byte.
+        let mut mutated: Vec<char> = line.chars().collect();
+        let at = (flip_seed % mutated.len() as u64) as usize;
+        mutated[at] = ':';
+        let _ = Message::decode(&mutated.into_iter().collect::<String>());
     }
 
     // ---- negotiation properties ----

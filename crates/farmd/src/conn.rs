@@ -149,8 +149,18 @@ pub(crate) fn serve_conn(shared: &Arc<Shared>, stream: FarmStream, peer: &str) {
         Ok(Incoming::Msg(Message::Init { version, bench_spec, machine })) => {
             serve_client(shared, reader, buf, &writer, version, &bench_spec, *machine, peer);
         }
+        Ok(Incoming::Msg(first @ (Message::RegGet { .. } | Message::RegPut { .. }))) => {
+            if shared.hosts_registry() {
+                serve_registry(shared, reader, buf, &writer, first, peer);
+            } else {
+                goodbye("no registry hosted (start petal-farmd with --registry <dir>)".to_owned());
+            }
+        }
         Ok(Incoming::Msg(other)) => {
-            goodbye(format!("expected REGISTER or INIT after HELLO, got {}", tag_of(&other)));
+            goodbye(format!(
+                "expected REGISTER, INIT or a registry request after HELLO, got {}",
+                tag_of(&other)
+            ));
         }
         Ok(Incoming::Eof | Incoming::Stopped) => {}
         Err(e) => goodbye(format!("bad record after HELLO: {e}")),
@@ -169,6 +179,70 @@ fn tag_of(msg: &Message) -> &'static str {
         Message::Register { .. } => "REGISTER",
         Message::Heartbeat { .. } => "HEARTBEAT",
         Message::Goodbye { .. } => "GOODBYE",
+        Message::RegGet { .. } => "REG_GET",
+        Message::RegPut { .. } => "REG_PUT",
+        Message::RegHit { .. } => "REG_HIT",
+        Message::RegMiss { .. } => "REG_MISS",
+    }
+}
+
+/// Registry-client serve loop: answer `REG_GET`/`REG_PUT` requests from
+/// the hosted store until the client says `DONE` or disconnects. Each
+/// request is one synchronous exchange — the store lock inside
+/// `serve_registry_request` is what serializes concurrent publishers.
+fn serve_registry(
+    shared: &Arc<Shared>,
+    mut reader: BufReader<FarmStream>,
+    mut buf: Vec<u8>,
+    writer: &Arc<Mutex<LineWriter>>,
+    first: Message,
+    peer: &str,
+) {
+    eprintln!("petal-farmd: registry client connected from {peer}");
+    let mut next = Some(first);
+    loop {
+        let msg = match next.take() {
+            Some(m) => m,
+            None => match read_msg(&mut reader, &mut buf, shared, None) {
+                Ok(Incoming::Msg(m)) => m,
+                Ok(Incoming::Eof) => return,
+                Ok(Incoming::Stopped) => {
+                    let mut w = writer.lock().expect("writer lock");
+                    let _ =
+                        w.send(&Message::Goodbye { reason: "dispatcher shutting down".to_owned() });
+                    w.shutdown();
+                    return;
+                }
+                Err(e) => {
+                    let mut w = writer.lock().expect("writer lock");
+                    let _ = w.send(&Message::Goodbye { reason: format!("protocol error: {e}") });
+                    w.shutdown();
+                    return;
+                }
+            },
+        };
+        match msg {
+            request @ (Message::RegGet { .. } | Message::RegPut { .. }) => {
+                let replies = shared.serve_registry_request(&request);
+                let mut w = writer.lock().expect("writer lock");
+                for reply in &replies {
+                    if w.send(reply).is_err() {
+                        w.shutdown();
+                        return;
+                    }
+                }
+            }
+            Message::Done => return,
+            Message::Heartbeat { .. } => {}
+            other => {
+                let mut w = writer.lock().expect("writer lock");
+                let _ = w.send(&Message::Goodbye {
+                    reason: format!("unexpected {} from registry client", tag_of(&other)),
+                });
+                w.shutdown();
+                return;
+            }
+        }
     }
 }
 

@@ -6,8 +6,13 @@
 //! **clients** (a tuner with `FarmSettings::endpoint` set), and pumps
 //! jobs from client sessions to whichever workers are alive — re-queueing
 //! a lost worker's outstanding jobs to survivors so churn never fails a
-//! batch. See `docs/farmd.md` for the protocol lifecycle and the
-//! determinism argument.
+//! batch. With `--registry <dir>` it additionally hosts the tuned-config
+//! registry: **registry clients** (a `petal_registry::RemoteStore`)
+//! speak wire v3's `REG_GET`/`REG_PUT` against a dispatcher-side
+//! `DirStore`, whose keep-best merge runs under one store lock so
+//! concurrent publishes from the whole fleet converge deterministically.
+//! See `docs/farmd.md` for the protocol lifecycle and the determinism
+//! argument, and `docs/registry.md` for the served-store topology.
 //!
 //! ## Why churn cannot perturb results
 //!
@@ -45,8 +50,10 @@ use petal_farm::net::{Endpoint, FarmListener};
 use petal_farm::wire::{Message, WIRE_VERSION};
 use petal_farm::EvalJob;
 use petal_gpu::profile::MachineProfile;
+use petal_registry::{entry_from_wire, entry_to_wire, ConfigStore, DirStore};
 use registry::{Ack, JobKey, Registry};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -66,6 +73,12 @@ pub struct FarmdOptions {
     /// after it, clients get a diagnostic instead of blocking forever on
     /// an empty fleet.
     pub starvation: Duration,
+    /// When set, host the tuned-config registry at this directory:
+    /// registry clients' `REG_GET`/`REG_PUT` requests are answered from a
+    /// [`DirStore`] opened here, with keep-best merge serialized under
+    /// the dispatcher's store lock. `None` bounces registry requests
+    /// with a GOODBYE.
+    pub registry: Option<PathBuf>,
 }
 
 impl Default for FarmdOptions {
@@ -74,6 +87,7 @@ impl Default for FarmdOptions {
             deadline: Duration::from_secs(2),
             poll: Duration::from_millis(50),
             starvation: Duration::from_secs(30),
+            registry: None,
         }
     }
 }
@@ -139,6 +153,11 @@ pub(crate) struct Shared {
     wake: Condvar,
     pub(crate) stop: AtomicBool,
     opts: FarmdOptions,
+    /// The hosted tuned-config store, when this dispatcher serves one.
+    /// The mutex serializes whole registry operations, so a `REG_PUT`'s
+    /// read-compare-write merge is atomic with respect to every other
+    /// client — that is the served keep-best guarantee.
+    store: Option<Mutex<DirStore>>,
 }
 
 /// One planned burst of sends to a single worker, executed outside the
@@ -286,6 +305,117 @@ impl Shared {
         self.notify();
     }
 
+    // ---- registry-side entry points ----
+
+    /// Whether this dispatcher hosts a registry at all.
+    pub(crate) fn hosts_registry(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Answer one registry request with the full reply sequence —
+    /// `REG_HIT`s first, then the closing `REG_HIT` ack or `REG_MISS`.
+    /// Server-side failures become `REG_MISS` reasons with the `error:`
+    /// prefix, never a dropped connection; the whole operation runs
+    /// under the store lock, so concurrent clients serialize here.
+    pub(crate) fn serve_registry_request(&self, msg: &Message) -> Vec<Message> {
+        let Some(store) = &self.store else {
+            return vec![Message::RegMiss {
+                reason: "error: no registry hosted (start petal-farmd with --registry <dir>)"
+                    .to_owned(),
+            }];
+        };
+        let store = store.lock().expect("registry store lock");
+        let err_miss =
+            |e: petal_registry::RegistryError| Message::RegMiss { reason: format!("error: {e}") };
+        match msg {
+            Message::RegGet { op, bench_spec, size, machine } => match op.as_str() {
+                "get" | "exact" => {
+                    let Some(machine) = machine else {
+                        return vec![Message::RegMiss {
+                            reason: format!("error: `{op}` needs a machine profile"),
+                        }];
+                    };
+                    match ConfigStore::lookup(&*store, machine, bench_spec, *size, op == "exact") {
+                        Ok(Some(m)) => vec![Message::RegHit {
+                            verdict: m.tier.to_string(),
+                            distance: m.distance,
+                            scaled_from: m.scaled_from,
+                            entry: Box::new(entry_to_wire(&m.entry)),
+                        }],
+                        Ok(None) => vec![Message::RegMiss {
+                            reason: format!("no entry for `{bench_spec}` size {size}"),
+                        }],
+                        Err(e) => vec![err_miss(e)],
+                    }
+                }
+                "ls" => match ConfigStore::ls(&*store) {
+                    Ok(listing) => {
+                        let mut reason = format!(
+                            "{} entries, {} unusable",
+                            listing.entries.len(),
+                            listing.issues.len()
+                        );
+                        for issue in &listing.issues {
+                            reason.push('\n');
+                            reason.push_str(issue);
+                        }
+                        let mut replies: Vec<Message> = listing
+                            .entries
+                            .iter()
+                            .map(|(_, e)| Message::RegHit {
+                                verdict: "ls".to_owned(),
+                                distance: 0.0,
+                                scaled_from: None,
+                                entry: Box::new(entry_to_wire(e)),
+                            })
+                            .collect();
+                        replies.push(Message::RegMiss { reason });
+                        replies
+                    }
+                    Err(e) => vec![err_miss(e)],
+                },
+                "gc" => match ConfigStore::gc(&*store) {
+                    Ok(removed) => {
+                        let mut reason = format!("{} files removed", removed.len());
+                        for line in &removed {
+                            reason.push('\n');
+                            reason.push_str(line);
+                        }
+                        vec![Message::RegMiss { reason }]
+                    }
+                    Err(e) => vec![err_miss(e)],
+                },
+                other => vec![Message::RegMiss {
+                    reason: format!("error: unknown registry op `{other}`"),
+                }],
+            },
+            Message::RegPut { force, entry } => {
+                let entry = entry_from_wire((**entry).clone());
+                match ConfigStore::put(&*store, &entry, *force) {
+                    // The ack carries whichever entry now wins the key,
+                    // so a losing publisher learns the better incumbent
+                    // in the same round trip.
+                    Ok(outcome) => {
+                        match store.get_exact(&entry.machine, &entry.bench_spec, entry.size) {
+                            Ok(Some(winner)) => vec![Message::RegHit {
+                                verdict: outcome.to_string(),
+                                distance: 0.0,
+                                scaled_from: None,
+                                entry: Box::new(entry_to_wire(&winner)),
+                            }],
+                            Ok(None) => vec![Message::RegMiss {
+                                reason: "error: stored entry vanished before the ack".to_owned(),
+                            }],
+                            Err(e) => vec![err_miss(e)],
+                        }
+                    }
+                    Err(e) => vec![err_miss(e)],
+                }
+            }
+            _ => vec![Message::RegMiss { reason: "error: not a registry request".to_owned() }],
+        }
+    }
+
     /// Retire a session: drop its queued jobs and forget it. Results for
     /// its still-inflight jobs will be dropped on arrival.
     pub(crate) fn close_session(self: &Arc<Self>, session: u64, reason: &str) {
@@ -415,6 +545,12 @@ impl Farmd {
     /// # Errors
     /// Any `bind(2)` failure.
     pub fn bind(endpoints: &[Endpoint], opts: FarmdOptions) -> std::io::Result<Farmd> {
+        let store = match &opts.registry {
+            Some(dir) => {
+                Some(Mutex::new(DirStore::open(dir.clone()).map_err(std::io::Error::other)?))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 registry: Registry::new(opts.deadline),
@@ -430,6 +566,7 @@ impl Farmd {
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             opts,
+            store,
         });
         let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));

@@ -5,7 +5,7 @@ use petal_farmd::{Farmd, FarmdOptions};
 use std::time::Duration;
 
 const USAGE: &str = "usage: petal-farmd --listen <endpoint> [--listen <endpoint> ...] \
-                     [--deadline-ms <ms>]";
+                     [--deadline-ms <ms>] [--registry <dir>]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("petal-farmd: {msg}\n{USAGE}");
@@ -27,6 +27,16 @@ fn main() {
             "--deadline-ms" => match value("--deadline-ms").parse() {
                 Ok(ms) => opts.deadline = Duration::from_millis(ms),
                 Err(_) => fail("--deadline-ms needs an integer"),
+            },
+            // Host the tuned-config registry: the value goes through the
+            // shared store-endpoint grammar but only the directory form
+            // makes sense on the serving side.
+            "--registry" => match Endpoint::parse_store(&value("--registry")) {
+                Ok(Endpoint::Dir(dir)) => opts.registry = Some(dir),
+                Ok(other) => {
+                    fail(&format!("--registry must name a directory to host, got `{other}`"))
+                }
+                Err(e) => fail(&e),
             },
             other => fail(&format!("unknown flag `{other}`")),
         }

@@ -107,7 +107,7 @@ fn handshake_confusion_is_answered_with_goodbye() {
     peer.send(&Message::Heartbeat { seq: 0 });
     match peer.recv() {
         Message::Goodbye { reason } => {
-            assert!(reason.contains("expected REGISTER or INIT"), "{reason}");
+            assert!(reason.contains("expected REGISTER, INIT or a registry request"), "{reason}");
             assert!(reason.contains("HEARTBEAT"), "{reason}");
         }
         other => panic!("expected GOODBYE, got {other:?}"),

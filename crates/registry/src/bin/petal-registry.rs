@@ -3,24 +3,30 @@
 //! ```text
 //! petal-registry put --machine <codename> --spec "<spec>" --time <secs> \
 //!                    [--size N] [--config <file>|-] [--source <label>] [--force] \
-//!                    [--registry <dir>]
+//!                    [--registry <endpoint>]
 //! petal-registry get --machine <codename> --spec "<spec>" [--size N] [--exact] \
-//!                    [--registry <dir>]
-//! petal-registry ls  [--registry <dir>]
-//! petal-registry gc  [--registry <dir>]
+//!                    [--registry <endpoint>]
+//! petal-registry ls  [--registry <endpoint>]
+//! petal-registry gc  [--registry <endpoint>]
 //! ```
 //!
-//! The registry directory comes from `--registry <dir>` (also
-//! `--registry=<dir>`) or the `PETAL_REGISTRY` environment variable;
-//! the flag wins. `get` prints the stored config text to stdout (ready
-//! to redirect into a config file) and the match metadata — tier,
-//! distance, donor machine — to stderr, so scripts can pipe the one
-//! without parsing the other.
+//! The registry endpoint comes from `--registry <endpoint>` (also
+//! `--registry=<endpoint>`) or the `PETAL_REGISTRY` environment
+//! variable; the flag wins. An endpoint is `dir:<path>` (or a bare
+//! path) for a local directory store, or `tcp:<host>:<port>` /
+//! `unix:<path>` for a registry served by a `petal-farmd` dispatcher —
+//! every subcommand works identically against either. `get` prints the
+//! stored config text to stdout (ready to redirect into a config file)
+//! and the match metadata — tier, distance, donor machine — to stderr,
+//! so scripts can pipe the one without parsing the other.
 
+use petal_farm::net::Endpoint;
 use petal_gpu::profile::MachineProfile;
-use petal_registry::{decode_entry, fingerprint_hex, MatchTier, PutOutcome, Registry, StoredEntry};
+use petal_registry::{
+    decode_entry, fingerprint_hex, ConfigStore, DirStore, PutOutcome, RemoteStore, StoredEntry,
+    ENTRY_EXT,
+};
 use std::io::Read as _;
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,12 +43,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:\n  \
     petal-registry put --machine <codename> --spec <spec> --time <secs> \
-[--size N] [--config <file>|-] [--source <label>] [--force] [--registry <dir>]\n  \
+[--size N] [--config <file>|-] [--source <label>] [--force] [--registry <endpoint>]\n  \
     petal-registry get --machine <codename> --spec <spec> [--size N] [--exact] \
-[--registry <dir>]\n  \
-    petal-registry ls [--registry <dir>]\n  \
-    petal-registry gc [--registry <dir>]\n\
-(--registry defaults to $PETAL_REGISTRY)";
+[--registry <endpoint>]\n  \
+    petal-registry ls [--registry <endpoint>]\n  \
+    petal-registry gc [--registry <endpoint>]\n\
+(--registry defaults to $PETAL_REGISTRY; endpoints are dir:<path> | a bare \
+path | tcp:<host>:<port> | unix:<path>)";
 
 /// Minimal flag cursor: `--flag value`, `--flag=value`, and boolean
 /// flags, mirroring the `HarnessArgs` conventions without depending on
@@ -98,15 +105,25 @@ impl Flags {
     }
 }
 
-fn open_registry(flags: &mut Flags) -> Result<Registry, String> {
-    let dir = match flags.value("--registry")? {
-        Some(d) => PathBuf::from(d),
-        None => match std::env::var_os("PETAL_REGISTRY") {
-            Some(d) if !d.is_empty() => PathBuf::from(d),
-            _ => return Err("no registry: pass --registry <dir> or set PETAL_REGISTRY".into()),
+/// Resolve `--registry`/`$PETAL_REGISTRY` into a live store — a
+/// [`DirStore`] for `dir:`/bare-path endpoints, a [`RemoteStore`] for
+/// socket endpoints. Subcommands only ever see `&dyn ConfigStore`.
+fn open_store(flags: &mut Flags) -> Result<Box<dyn ConfigStore>, String> {
+    let text = match flags.value("--registry")? {
+        Some(e) => e,
+        None => match std::env::var("PETAL_REGISTRY") {
+            Ok(e) if !e.is_empty() => e,
+            _ => return Err("no registry: pass --registry <endpoint> or set PETAL_REGISTRY".into()),
         },
     };
-    Registry::open(dir).map_err(|e| e.to_string())
+    let endpoint = Endpoint::parse_store(&text)?;
+    match endpoint {
+        Endpoint::Dir(dir) => Ok(Box::new(DirStore::open(dir).map_err(|e| e.to_string())?)),
+        Endpoint::Tcp(_) | Endpoint::Unix(_) => {
+            Ok(Box::new(RemoteStore::connect(&endpoint).map_err(|e| e.to_string())?))
+        }
+        Endpoint::Disabled => Err("registry disabled (`--registry none`)".into()),
+    }
 }
 
 fn machine_arg(flags: &mut Flags) -> Result<MachineProfile, String> {
@@ -132,12 +149,18 @@ fn benchmark_default_size(spec: &str) -> Result<u64, String> {
         .map_err(|e| format!("cannot infer --size from spec: {e}"))
 }
 
+/// The entry's canonical file name (`<key-hash>.reg`) — what `ls`
+/// labels rows with on every store kind.
+fn entry_file(e: &StoredEntry) -> String {
+    format!("{:016x}.{ENTRY_EXT}", e.key_hash())
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
     let mut flags = Flags::new(rest);
     match cmd.as_str() {
         "put" => {
-            let reg = open_registry(&mut flags)?;
+            let store = open_store(&mut flags)?;
             let machine = machine_arg(&mut flags)?;
             let (bench_spec, size) = spec_and_size(&mut flags)?;
             let time_secs: f64 = flags
@@ -162,38 +185,36 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let force = flags.flag("--force");
             flags.finish()?;
             let entry = StoredEntry { machine, bench_spec, size, config, time_secs, source };
+            let file = entry_file(&entry);
             if force {
-                let path = reg.put_force(&entry).map_err(|e| e.to_string())?;
-                println!("forced {}", path.display());
+                store.put(&entry, true).map_err(|e| e.to_string())?;
+                println!("forced {file}");
             } else {
-                match reg.put(&entry).map_err(|e| e.to_string())? {
-                    PutOutcome::Inserted(p) => println!("inserted {}", p.display()),
-                    PutOutcome::Replaced(p) => println!("replaced {}", p.display()),
-                    PutOutcome::KeptExisting(p) => {
-                        println!("kept existing (better or equal time) {}", p.display());
+                match store.put(&entry, false).map_err(|e| e.to_string())? {
+                    PutOutcome::Inserted => println!("inserted {file}"),
+                    PutOutcome::Replaced => println!("replaced {file}"),
+                    PutOutcome::KeptExisting => {
+                        println!("kept existing (better or equal time) {file}");
                     }
                 }
             }
             Ok(ExitCode::SUCCESS)
         }
         "get" => {
-            let reg = open_registry(&mut flags)?;
+            let store = open_store(&mut flags)?;
             let machine = machine_arg(&mut flags)?;
             let (spec, size) = spec_and_size(&mut flags)?;
             let exact = flags.flag("--exact");
             flags.finish()?;
-            let found = if exact {
-                reg.get_exact(&machine, &spec, size).map_err(|e| e.to_string())?.map(|entry| {
-                    petal_registry::Match { entry, tier: MatchTier::Exact, distance: 0.0 }
-                })
-            } else {
-                reg.lookup(&machine, &spec, size).map_err(|e| e.to_string())?
-            };
-            match found {
+            match store.lookup(&machine, &spec, size, exact).map_err(|e| e.to_string())? {
                 Some(m) => {
+                    let scaled = match m.scaled_from {
+                        Some(from) => format!(" scaled-from={from}"),
+                        None => String::new(),
+                    };
                     eprintln!(
                         "match tier={} distance={:.3} machine={} fingerprint={} time={:.6e}s \
-                         source={}",
+                         source={}{scaled}",
                         m.tier,
                         m.distance,
                         m.entry.machine.codename,
@@ -214,13 +235,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         "ls" => {
-            let reg = open_registry(&mut flags)?;
+            let store = open_store(&mut flags)?;
             flags.finish()?;
-            let scan = reg.scan().map_err(|e| e.to_string())?;
-            for (path, e) in &scan.entries {
+            let listing = store.ls().map_err(|e| e.to_string())?;
+            for (_, e) in &listing.entries {
                 println!(
                     "{} machine={} fingerprint={} spec=\"{}\" size={} time={:.6e}s source={}",
-                    path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default(),
+                    entry_file(e),
                     e.machine.codename,
                     fingerprint_hex(&e.machine),
                     e.bench_spec,
@@ -229,18 +250,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     e.source,
                 );
             }
-            for issue in &scan.issues {
-                eprintln!("skipped {}: {}", issue.path.display(), issue.error);
+            for issue in &listing.issues {
+                eprintln!("skipped {issue}");
             }
-            println!("{} entries, {} unusable", scan.entries.len(), scan.issues.len());
+            println!("{} entries, {} unusable", listing.entries.len(), listing.issues.len());
             Ok(ExitCode::SUCCESS)
         }
         "gc" => {
-            let reg = open_registry(&mut flags)?;
+            let store = open_store(&mut flags)?;
             flags.finish()?;
-            let removed = reg.gc().map_err(|e| e.to_string())?;
-            for issue in &removed {
-                println!("removed {}: {}", issue.path.display(), issue.error);
+            let removed = store.gc().map_err(|e| e.to_string())?;
+            for line in &removed {
+                println!("removed {line}");
             }
             println!("{} files removed", removed.len());
             Ok(ExitCode::SUCCESS)

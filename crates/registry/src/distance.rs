@@ -103,7 +103,7 @@ pub fn family(machine: &MachineProfile) -> MachineFamily {
 /// values, 1 per doubling, symmetric. Degenerate (≤ 0 or non-finite)
 /// inputs fall back to a fixed 32-octave penalty instead of poisoning
 /// the sum with NaN.
-fn octaves(a: f64, b: f64) -> f64 {
+pub(crate) fn octaves(a: f64, b: f64) -> f64 {
     if a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite() {
         // Divide large by small so the result is bit-identical in both
         // argument orders (a/b and b/a round differently at the ulp).

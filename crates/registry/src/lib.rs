@@ -12,6 +12,21 @@
 //! repair the migration penalty instead of rediscovering the whole
 //! mapping.
 //!
+//! ## Stores
+//!
+//! Every consumer works against the object-safe [`ConfigStore`] trait
+//! (`lookup` / `put` / `ls` / `gc`); the two implementations are
+//! indistinguishable behind it, so a call site switches between them by
+//! changing nothing but an endpoint string:
+//!
+//! * [`DirStore`] — the original directory-backed store (one entry per
+//!   `<key-hash>.reg` file, atomic write-then-rename);
+//! * [`RemoteStore`] — the same store served over a `petal-farmd`
+//!   dispatcher socket (wire version 3's `REG_GET`/`REG_PUT`/`REG_HIT`/
+//!   `REG_MISS` records). Keep-best merge and persistence stay on the
+//!   dispatcher, so concurrent publishes from many clients are
+//!   serialized and deterministic.
+//!
 //! ## Key schema
 //!
 //! An entry is addressed by three components:
@@ -27,7 +42,7 @@
 //!
 //! ## Nearest-key lookup
 //!
-//! [`Registry::lookup`] matches the benchmark spec and size exactly but
+//! [`DirStore::lookup`] matches the benchmark spec and size exactly but
 //! the *machine* by nearest key, in three tiers:
 //!
 //! * [`MatchTier::Exact`] — same fingerprint (bit-identical profile);
@@ -42,6 +57,18 @@
 //! pure function of the registry *contents* — insertion order can never
 //! change the answer (entries live in files named by their key hash, and
 //! scans sort by file name).
+//!
+//! When no entry exists for the queried `(spec, size)` cell at all,
+//! lookup falls back to **cross-size donors**: entries for the same
+//! benchmark *kind* (the spec's first token) stored at other sizes. The
+//! donor's config is rescaled by [`rescale_config`] — selector cutoffs
+//! and size-like tunables (names containing `cutoff`, `split` or
+//! `chunk`) are multiplied by the size ratio; ratio-like and
+//! hardware-like tunables (`gpu_ratio`, `local_size`, ranks) are left
+//! alone, since they track the machine, not the input. Cross-size
+//! matches rank below every same-cell match, ordered by tier, then size
+//! octaves, then machine [`distance`]; [`Match::scaled_from`] records
+//! the donor's stored size.
 //!
 //! ## On-disk format
 //!
@@ -74,9 +101,12 @@
 #![warn(missing_docs)]
 
 mod distance;
+mod remote;
 
 pub use distance::{distance, family, fingerprint, fingerprint_hex, MachineFamily};
+pub use remote::{entry_from_wire, entry_to_wire, RemoteStore};
 
+use petal_core::config::{Selector, Tunable};
 use petal_core::Config;
 use petal_farm::wire::{Message, Record};
 use petal_gpu::profile::MachineProfile;
@@ -214,6 +244,14 @@ pub enum RegistryError {
         /// Why it was rejected.
         error: EntryError,
     },
+    /// A served-store failure: the dispatcher could not be reached, broke
+    /// protocol, or reported a server-side error.
+    Remote {
+        /// The endpoint the store talks to.
+        endpoint: String,
+        /// What went wrong, for the operator.
+        message: String,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -224,6 +262,9 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::Entry { path, error } => {
                 write!(f, "{} ({})", error, path.display())
+            }
+            RegistryError::Remote { endpoint, message } => {
+                write!(f, "remote registry error at {endpoint}: {message}")
             }
         }
     }
@@ -311,13 +352,19 @@ impl fmt::Display for MatchTier {
 /// A successful nearest-key lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Match {
-    /// The winning stored entry.
+    /// The winning stored entry. For a cross-size match the entry is
+    /// presented for the *queried* cell — spec and size rewritten, the
+    /// config rescaled by [`rescale_config`] — while `time_secs` stays
+    /// the donor's own (advisory: it was measured at the donor's size).
     pub entry: StoredEntry,
     /// Which tier it matched in.
     pub tier: MatchTier,
     /// [`distance`] from the queried machine to the entry's machine
     /// (0.0 for [`MatchTier::Exact`]).
     pub distance: f64,
+    /// `Some(donor_size)` when the config was rescaled from an entry
+    /// stored at another input size; `None` for same-cell matches.
+    pub scaled_from: Option<u64>,
 }
 
 /// One unusable entry file found during a scan (corrupt bytes or a
@@ -342,26 +389,65 @@ pub struct Scan {
     pub issues: Vec<ScanIssue>,
 }
 
-/// A directory-backed registry of tuned configurations.
+/// A directory-backed registry of tuned configurations — the local
+/// [`ConfigStore`] implementation.
 #[derive(Debug, Clone)]
-pub struct Registry {
+pub struct DirStore {
     dir: PathBuf,
 }
 
-/// What [`Registry::put`] did with the offered entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The old name of [`DirStore`], from when the directory form was the
+/// only store.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `DirStore`; write store-agnostic code against `ConfigStore`"
+)]
+pub type Registry = DirStore;
+
+/// What a [`ConfigStore::put`] did with the offered entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PutOutcome {
     /// No entry existed for the key; the offer was written.
-    Inserted(PathBuf),
-    /// An entry existed but the offer's `time_secs` was better (or the
-    /// write was forced); the offer replaced it.
-    Replaced(PathBuf),
+    Inserted,
+    /// The offer replaced the incumbent: its `time_secs` was better, the
+    /// incumbent was corrupt, or the write was forced.
+    Replaced,
     /// An existing entry had an equal-or-better `time_secs`; the offer
     /// was discarded (keep-best semantics).
-    KeptExisting(PathBuf),
+    KeptExisting,
 }
 
-impl Registry {
+impl PutOutcome {
+    /// Stable lower-case token (also the served protocol's verdict
+    /// field); inverse of [`Self::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PutOutcome::Inserted => "inserted",
+            PutOutcome::Replaced => "replaced",
+            PutOutcome::KeptExisting => "kept-existing",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`]; `None` for unknown tokens.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<PutOutcome> {
+        match s {
+            "inserted" => Some(PutOutcome::Inserted),
+            "replaced" => Some(PutOutcome::Replaced),
+            "kept-existing" => Some(PutOutcome::KeptExisting),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PutOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl DirStore {
     /// Open (creating if needed) the registry at `dir`.
     ///
     /// # Errors
@@ -370,7 +456,7 @@ impl Registry {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|source| RegistryError::Io { path: dir.clone(), source })?;
-        Ok(Registry { dir })
+        Ok(DirStore { dir })
     }
 
     /// The registry directory.
@@ -394,16 +480,16 @@ impl Registry {
         match std::fs::read_to_string(&path) {
             Ok(text) => match decode_entry(&text) {
                 Ok(existing) if existing.time_secs <= entry.time_secs => {
-                    Ok(PutOutcome::KeptExisting(path))
+                    Ok(PutOutcome::KeptExisting)
                 }
                 _ => {
                     self.write_entry(&path, entry)?;
-                    Ok(PutOutcome::Replaced(path))
+                    Ok(PutOutcome::Replaced)
                 }
             },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.write_entry(&path, entry)?;
-                Ok(PutOutcome::Inserted(path))
+                Ok(PutOutcome::Inserted)
             }
             Err(source) => Err(RegistryError::Io { path, source }),
         }
@@ -489,8 +575,11 @@ impl Registry {
     /// Nearest-key lookup (see the module docs): spec and size match
     /// exactly, the machine by tier (exact fingerprint → same family →
     /// any), nearest [`distance`] first within a tier, ties broken on
-    /// fingerprint then key hex. Deterministic for given registry
-    /// contents; unusable files are skipped.
+    /// fingerprint then key hex. When the queried `(spec, size)` cell
+    /// has no entry at all, falls back to cross-size donors of the same
+    /// benchmark kind, rescaled by [`rescale_config`] and ranked by
+    /// tier, size octaves, then machine distance. Deterministic for
+    /// given registry contents; unusable files are skipped.
     ///
     /// # Errors
     /// [`RegistryError::Io`] when the directory cannot be read.
@@ -501,43 +590,16 @@ impl Registry {
         size: u64,
     ) -> Result<Option<Match>, RegistryError> {
         let scan = self.scan()?;
-        let fp = fingerprint(machine);
-        let fam = family(machine);
-        let mut best: Option<(MatchTier, f64, String, Match)> = None;
-        for (path, entry) in scan.entries {
-            if entry.bench_spec != bench_spec || entry.size != size {
-                continue;
-            }
-            let (tier, d) = if fingerprint(&entry.machine) == fp {
-                (MatchTier::Exact, 0.0)
-            } else if family(&entry.machine) == fam {
-                (MatchTier::Family, distance(machine, &entry.machine))
-            } else {
-                (MatchTier::Fallback, distance(machine, &entry.machine))
-            };
-            // Deterministic total order: tier, then distance, then the
-            // entry's fingerprint hex, then its file name.
-            let tie = format!(
-                "{} {}",
-                fingerprint_hex(&entry.machine),
-                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
-            );
-            let candidate = (tier, d, tie, Match { entry, tier, distance: d });
-            let wins = match &best {
-                None => true,
-                Some((bt, bd, btie, _)) => {
-                    (candidate.0, candidate.1, candidate.2.as_str()) < (*bt, *bd, btie.as_str())
-                }
-            };
-            if wins {
-                best = Some(candidate);
-            }
+        if let Some(m) = best_same_cell(&scan.entries, machine, bench_spec, size) {
+            return Ok(Some(m));
         }
-        Ok(best.map(|(_, _, _, m)| m))
+        Ok(best_cross_size(&scan.entries, machine, bench_spec, size))
     }
 
     /// Remove unusable entry files (corrupt bytes, version skew, stray
-    /// `.tmp` leftovers), returning what was deleted.
+    /// `.tmp` leftovers), returning what was deleted sorted by file name
+    /// (= key hash) — never by directory iteration order, so the report
+    /// is stable across filesystems.
     ///
     /// # Errors
     /// [`RegistryError::Io`] when the directory cannot be read or a file
@@ -556,6 +618,10 @@ impl Registry {
                 error: EntryError::Malformed("stale temporary file".to_owned()),
             });
         }
+        // scan() returns its issues file-name-sorted, but the `.tmp`
+        // sweep above walks the directory raw; sort the union so the
+        // filesystem's iteration order never leaks into the report.
+        removed.sort_by(|a, b| a.path.cmp(&b.path));
         for issue in &removed {
             std::fs::remove_file(&issue.path)
                 .map_err(|source| RegistryError::Io { path: issue.path.clone(), source })?;
@@ -564,16 +630,291 @@ impl Registry {
     }
 }
 
+/// Deterministic tie-break string for a candidate entry: fingerprint
+/// hex, then file name (= key-hash hex).
+fn tie_break(path: &Path, entry: &StoredEntry) -> String {
+    format!(
+        "{} {}",
+        fingerprint_hex(&entry.machine),
+        path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+    )
+}
+
+/// Tier + distance of `entry`'s machine relative to the queried one.
+fn machine_rank(machine: &MachineProfile, entry: &StoredEntry) -> (MatchTier, f64) {
+    if fingerprint(&entry.machine) == fingerprint(machine) {
+        (MatchTier::Exact, 0.0)
+    } else if family(&entry.machine) == family(machine) {
+        (MatchTier::Family, distance(machine, &entry.machine))
+    } else {
+        (MatchTier::Fallback, distance(machine, &entry.machine))
+    }
+}
+
+/// The best same-`(spec, size)` match, by (tier, distance, tie-break).
+fn best_same_cell(
+    entries: &[(PathBuf, StoredEntry)],
+    machine: &MachineProfile,
+    bench_spec: &str,
+    size: u64,
+) -> Option<Match> {
+    let mut best: Option<(MatchTier, f64, String, Match)> = None;
+    for (path, entry) in entries {
+        if entry.bench_spec != bench_spec || entry.size != size {
+            continue;
+        }
+        let (tier, d) = machine_rank(machine, entry);
+        let tie = tie_break(path, entry);
+        let wins = match &best {
+            None => true,
+            Some((bt, bd, btie, _)) => (tier, d, tie.as_str()) < (*bt, *bd, btie.as_str()),
+        };
+        if wins {
+            let m = Match { entry: entry.clone(), tier, distance: d, scaled_from: None };
+            best = Some((tier, d, tie, m));
+        }
+    }
+    best.map(|(_, _, _, m)| m)
+}
+
+/// The benchmark kind of a spec line: its first whitespace token (e.g.
+/// `sort` of `sort n=4096`) — the unit cross-size donors must share.
+fn bench_kind(spec: &str) -> &str {
+    spec.split_whitespace().next().unwrap_or("")
+}
+
+/// The best cross-size donor: same benchmark kind, any other
+/// `(spec, size)` cell, ranked by (tier, size octaves, machine
+/// distance, tie-break). The winner is rewritten for the queried cell
+/// with its config rescaled.
+fn best_cross_size(
+    entries: &[(PathBuf, StoredEntry)],
+    machine: &MachineProfile,
+    bench_spec: &str,
+    size: u64,
+) -> Option<Match> {
+    let kind = bench_kind(bench_spec);
+    if kind.is_empty() {
+        return None;
+    }
+    let mut best: Option<(MatchTier, f64, f64, String, &StoredEntry)> = None;
+    for (path, entry) in entries {
+        if bench_kind(&entry.bench_spec) != kind
+            || (entry.bench_spec == bench_spec && entry.size == size)
+        {
+            continue;
+        }
+        let (tier, d) = machine_rank(machine, entry);
+        let size_gap = distance::octaves(size as f64, entry.size as f64);
+        let tie = tie_break(path, entry);
+        let wins = match &best {
+            None => true,
+            Some((bt, bs, bd, btie, _)) => {
+                (tier, size_gap, d, tie.as_str()) < (*bt, *bs, *bd, btie.as_str())
+            }
+        };
+        if wins {
+            best = Some((tier, size_gap, d, tie, entry));
+        }
+    }
+    best.map(|(tier, _, d, _, donor)| Match {
+        entry: StoredEntry {
+            machine: donor.machine.clone(),
+            bench_spec: bench_spec.to_owned(),
+            size,
+            config: rescale_config(&donor.config, donor.size, size),
+            time_secs: donor.time_secs,
+            source: donor.source.clone(),
+        },
+        tier,
+        distance: d,
+        scaled_from: Some(donor.size),
+    })
+}
+
+/// Whether a tunable's name marks it as tracking the input size (so a
+/// cross-size donor must rescale it) rather than the machine.
+fn size_like_tunable(name: &str) -> bool {
+    ["cutoff", "split", "chunk"].iter().any(|k| name.contains(k))
+}
+
+/// Rescale a donor configuration tuned at `from_size` for use at
+/// `to_size`, using the size ratio:
+///
+/// * every selector keeps its algorithm sequence, with each cutoff
+///   multiplied by the ratio (rounded, floored at 1; bands whose scaled
+///   cutoffs collide are merged away so cutoffs stay strictly
+///   increasing);
+/// * tunables whose names contain `cutoff`, `split` or `chunk` are
+///   multiplied by the ratio and clamped back into their declared
+///   range;
+/// * everything else (`gpu_ratio` splits, `local_size` work-group
+///   shapes, ranks…) is machine-shaped and travels verbatim.
+///
+/// A pure function of its arguments — cross-size lookups stay
+/// deterministic. Degenerate sizes (either side 0) or equal sizes
+/// return the config unchanged.
+#[must_use]
+pub fn rescale_config(config: &Config, from_size: u64, to_size: u64) -> Config {
+    if from_size == to_size || from_size == 0 || to_size == 0 {
+        return config.clone();
+    }
+    let ratio = to_size as f64 / from_size as f64;
+    let mut out = config.clone();
+    for selector in out.selectors_mut().values_mut() {
+        let mut cutoffs: Vec<u64> = Vec::with_capacity(selector.cutoffs().len());
+        let mut algs = vec![selector.algs()[0]];
+        for (c, &a) in selector.cutoffs().iter().zip(&selector.algs()[1..]) {
+            let scaled = (*c as f64 * ratio).round().max(1.0) as u64;
+            // A band squeezed to nothing by rounding is merged into its
+            // left neighbour: drop the colliding cutoff, keep the later
+            // algorithm (it governed the larger sizes).
+            if cutoffs.last().is_some_and(|&prev| scaled <= prev) {
+                *algs.last_mut().expect("algs is never empty") = a;
+            } else {
+                cutoffs.push(scaled);
+                algs.push(a);
+            }
+        }
+        let num_algs = selector.num_algs();
+        *selector = Selector::new(cutoffs, algs, num_algs);
+    }
+    for (name, tunable) in out.tunables_mut() {
+        if size_like_tunable(name) {
+            // No floor here: a 0-valued cutoff tunable ("never") must
+            // stay 0 at any size. Saturate before the i64 cast so a huge
+            // ratio cannot wrap; `Tunable::new` clamps back into range.
+            let scaled = (tunable.value as f64 * ratio).round();
+            let scaled = if scaled >= i64::MAX as f64 {
+                i64::MAX
+            } else if scaled <= i64::MIN as f64 {
+                i64::MIN
+            } else {
+                scaled as i64
+            };
+            *tunable = Tunable::new(scaled, tunable.min, tunable.max);
+        }
+    }
+    out
+}
+
+/// Everything [`ConfigStore::ls`] returns — path-free, so directory and
+/// served stores produce the same shape.
+#[derive(Debug, Default)]
+pub struct Listing {
+    /// Every usable entry with its key hash, sorted by key hash — the
+    /// ordering contract that keeps listings stable across filesystems
+    /// and transports.
+    pub entries: Vec<(u64, StoredEntry)>,
+    /// Human-readable diagnostics for unusable files, sorted by file
+    /// name. (A served store may hold these back; counts still match
+    /// what `gc` would sweep.)
+    pub issues: Vec<String>,
+}
+
+/// The store API every consumer writes against — object-safe, so call
+/// sites take `&dyn ConfigStore` and work identically over a local
+/// [`DirStore`] or a farmd-served [`RemoteStore`], with only an
+/// endpoint string changing.
+pub trait ConfigStore {
+    /// Nearest-key lookup of `(machine, bench_spec, size)`; with
+    /// `exact`, only a bit-identical machine fingerprint in exactly this
+    /// cell may answer (no nearest-key, no cross-size fallback).
+    ///
+    /// # Errors
+    /// [`RegistryError`] on store I/O, protocol, or addressed-entry
+    /// damage; a clean miss is `Ok(None)`.
+    fn lookup(
+        &self,
+        machine: &MachineProfile,
+        bench_spec: &str,
+        size: u64,
+        exact: bool,
+    ) -> Result<Option<Match>, RegistryError>;
+
+    /// Publish `entry` with keep-best semantics (`force` replaces even a
+    /// better incumbent). Where the merge happens is the implementation's
+    /// contract: a [`DirStore`] merges locally, a [`RemoteStore`] on the
+    /// dispatcher — so concurrent publishers converge either way.
+    ///
+    /// # Errors
+    /// [`RegistryError`] when the entry cannot be stored.
+    fn put(&self, entry: &StoredEntry, force: bool) -> Result<PutOutcome, RegistryError>;
+
+    /// List every usable entry, sorted by key hash, plus diagnostics for
+    /// unusable files.
+    ///
+    /// # Errors
+    /// [`RegistryError`] when the store cannot be enumerated.
+    fn ls(&self) -> Result<Listing, RegistryError>;
+
+    /// Sweep unusable files, returning one human-readable line per
+    /// removal, sorted by file name.
+    ///
+    /// # Errors
+    /// [`RegistryError`] when the sweep cannot run to completion.
+    fn gc(&self) -> Result<Vec<String>, RegistryError>;
+}
+
+/// A [`ScanIssue`] as one stable human-readable line.
+fn issue_line(issue: &ScanIssue) -> String {
+    let name = issue.path.file_name().map(|n| n.to_string_lossy().into_owned());
+    format!("{}: {}", name.unwrap_or_else(|| issue.path.display().to_string()), issue.error)
+}
+
+impl ConfigStore for DirStore {
+    fn lookup(
+        &self,
+        machine: &MachineProfile,
+        bench_spec: &str,
+        size: u64,
+        exact: bool,
+    ) -> Result<Option<Match>, RegistryError> {
+        if exact {
+            return Ok(self.get_exact(machine, bench_spec, size)?.map(|entry| Match {
+                entry,
+                tier: MatchTier::Exact,
+                distance: 0.0,
+                scaled_from: None,
+            }));
+        }
+        DirStore::lookup(self, machine, bench_spec, size)
+    }
+
+    fn put(&self, entry: &StoredEntry, force: bool) -> Result<PutOutcome, RegistryError> {
+        if force {
+            self.put_force(entry)?;
+            return Ok(PutOutcome::Replaced);
+        }
+        DirStore::put(self, entry)
+    }
+
+    fn ls(&self) -> Result<Listing, RegistryError> {
+        let scan = self.scan()?;
+        let mut entries: Vec<(u64, StoredEntry)> =
+            scan.entries.into_iter().map(|(_, e)| (e.key_hash(), e)).collect();
+        // scan() is file-name-sorted, which for well-named files is
+        // already key order; sorting on the recomputed key hash makes
+        // the contract hold even for entries parked under odd names.
+        entries.sort_by_key(|(key, _)| *key);
+        Ok(Listing { entries, issues: scan.issues.iter().map(issue_line).collect() })
+    }
+
+    fn gc(&self) -> Result<Vec<String>, RegistryError> {
+        Ok(DirStore::gc(self)?.iter().map(issue_line).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use petal_core::config::{Selector, Tunable};
 
-    fn temp_registry(tag: &str) -> Registry {
+    fn temp_registry(tag: &str) -> DirStore {
         let dir =
             std::env::temp_dir().join(format!("petal-registry-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        Registry::open(dir).expect("temp registry opens")
+        DirStore::open(dir).expect("temp registry opens")
     }
 
     fn entry(machine: MachineProfile, time_secs: f64) -> StoredEntry {
@@ -595,7 +936,7 @@ mod tests {
         let reg = temp_registry("roundtrip");
         let e = entry(MachineProfile::desktop(), 1.5e-3);
         let out = reg.put(&e).expect("put");
-        assert!(matches!(out, PutOutcome::Inserted(_)));
+        assert_eq!(out, PutOutcome::Inserted);
         let back =
             reg.get_exact(&e.machine, &e.bench_spec, e.size).expect("get").expect("entry present");
         assert_eq!(back, e);
@@ -607,12 +948,12 @@ mod tests {
         let reg = temp_registry("keepbest");
         let good = entry(MachineProfile::laptop(), 1.0e-3);
         let worse = entry(MachineProfile::laptop(), 2.0e-3);
-        assert!(matches!(reg.put(&good).expect("put"), PutOutcome::Inserted(_)));
-        assert!(matches!(reg.put(&worse).expect("put"), PutOutcome::KeptExisting(_)));
+        assert_eq!(reg.put(&good).expect("put"), PutOutcome::Inserted);
+        assert_eq!(reg.put(&worse).expect("put"), PutOutcome::KeptExisting);
         let back = reg.get_exact(&good.machine, &good.bench_spec, good.size).unwrap().unwrap();
         assert_eq!(back.time_secs, 1.0e-3, "keep-best kept the incumbent");
         let better = entry(MachineProfile::laptop(), 0.5e-3);
-        assert!(matches!(reg.put(&better).expect("put"), PutOutcome::Replaced(_)));
+        assert_eq!(reg.put(&better).expect("put"), PutOutcome::Replaced);
         reg.put_force(&worse).expect("forced put");
         let back = reg.get_exact(&good.machine, &good.bench_spec, good.size).unwrap().unwrap();
         assert_eq!(back.time_secs, 2.0e-3, "force overwrites");
@@ -650,17 +991,104 @@ mod tests {
     }
 
     #[test]
-    fn spec_and_size_must_match_exactly() {
+    fn same_cell_matches_beat_cross_size_donors() {
         let reg = temp_registry("specmatch");
+        // One entry in the queried cell, one (better-machine) entry for
+        // the same benchmark kind at double the size: the same-cell entry
+        // must win even though the cross-size donor is the exact machine.
+        let mut other = entry(MachineProfile::desktop(), 0.5);
+        other.bench_spec = "sort n=8192".to_owned();
+        other.size = 8192;
+        reg.put(&entry(MachineProfile::laptop(), 1.0)).expect("put same-cell");
+        reg.put(&other).expect("put cross-size");
+        let got = reg.lookup(&MachineProfile::desktop(), "sort n=4096", 4096).unwrap().unwrap();
+        assert_eq!(got.tier, MatchTier::Family);
+        assert_eq!(got.scaled_from, None);
+        assert_eq!(got.entry.machine.codename, "Laptop");
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn cross_size_donors_are_rescaled_for_the_queried_cell() {
+        let reg = temp_registry("crosssize");
         reg.put(&entry(MachineProfile::desktop(), 1.0)).expect("put");
+        // No entry for n=8192 anywhere: the n=4096 donor answers, spec
+        // and size rewritten, cutoffs and size-like tunables doubled.
+        let got = reg.lookup(&MachineProfile::desktop(), "sort n=8192", 8192).unwrap().unwrap();
+        assert_eq!(got.tier, MatchTier::Exact);
+        assert_eq!(got.scaled_from, Some(4096));
+        assert_eq!(got.entry.bench_spec, "sort n=8192");
+        assert_eq!(got.entry.size, 8192);
+        assert_eq!(got.entry.config.selector("sort").unwrap().cutoffs(), &[128]);
+        assert_eq!(
+            got.entry.config.tunable("sort.gpu_ratio").unwrap().value,
+            3,
+            "ratio tunables are machine-shaped and must not scale"
+        );
+        // A different benchmark kind never donates.
         assert!(reg
-            .lookup(&MachineProfile::desktop(), "sort n=8192", 8192)
+            .lookup(&MachineProfile::desktop(), "matmul n=4096", 4096)
             .expect("lookup")
             .is_none());
-        assert!(reg
-            .lookup(&MachineProfile::desktop(), "sort n=4096", 8192)
-            .expect("lookup")
-            .is_none());
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn rescaling_merges_colliding_cutoffs_and_scales_size_like_tunables() {
+        let mut config = Config::new();
+        config.set_selector("conv", Selector::new(vec![10, 11, 4000], vec![0, 1, 2, 3], 4));
+        config.set_tunable("merge_parallel_cutoff", Tunable::new(1000, 0, 2000));
+        config.set_tunable("split_rows", Tunable::new(64, 1, 4096));
+        config.set_tunable("tile.local_size", Tunable::new(128, 1, 1024));
+
+        // Shrink 8×: cutoffs 10 and 11 collide at 1 — the squeezed band
+        // merges away and the later algorithm survives.
+        let down = rescale_config(&config, 4096, 512);
+        let sel = down.selector("conv").unwrap();
+        assert_eq!(sel.cutoffs(), &[1, 500]);
+        assert_eq!(sel.algs(), &[0, 2, 3]);
+        assert_eq!(down.tunable("merge_parallel_cutoff").unwrap().value, 125);
+        assert_eq!(down.tunable("split_rows").unwrap().value, 8);
+        assert_eq!(down.tunable("tile.local_size").unwrap().value, 128, "not size-like");
+
+        // Grow 2×: scaling clamps into the declared tunable range.
+        let up = rescale_config(&config, 4096, 8192);
+        assert_eq!(up.selector("conv").unwrap().cutoffs(), &[20, 22, 8000]);
+        assert_eq!(up.tunable("merge_parallel_cutoff").unwrap().value, 2000, "clamped to max");
+        assert_eq!(up.tunable("split_rows").unwrap().value, 128);
+
+        // Degenerate and identity scalings are the identity.
+        assert_eq!(rescale_config(&config, 4096, 4096), config);
+        assert_eq!(rescale_config(&config, 0, 4096), config);
+    }
+
+    #[test]
+    fn listings_and_gc_reports_are_key_hash_sorted() {
+        let reg = temp_registry("lsorder");
+        let mut entries: Vec<StoredEntry> = Vec::new();
+        for (i, m) in MachineProfile::extended().into_iter().enumerate() {
+            let e = entry(m, 1.0 + i as f64);
+            reg.put(&e).expect("put");
+            entries.push(e);
+        }
+        let listing = ConfigStore::ls(&reg).expect("ls");
+        let keys: Vec<u64> = listing.entries.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "ls must be key-hash sorted");
+        assert_eq!(keys.len(), entries.len());
+        assert!(listing.issues.is_empty());
+
+        // gc's report covers stray .tmp files too, and is file-name
+        // sorted regardless of the order the filesystem yields them.
+        std::fs::write(reg.dir().join("zz.tmp"), "late").expect("tmp");
+        std::fs::write(reg.dir().join("00.tmp"), "early").expect("tmp");
+        std::fs::write(reg.dir().join("aaaa000000000000.reg"), "junk").expect("corrupt");
+        let removed = ConfigStore::gc(&reg).expect("gc");
+        let mut sorted_removed = removed.clone();
+        sorted_removed.sort();
+        assert_eq!(removed, sorted_removed, "gc report must be file-name sorted: {removed:?}");
+        assert_eq!(removed.len(), 3);
         let _ = std::fs::remove_dir_all(reg.dir());
     }
 

@@ -14,7 +14,7 @@ use petal_core::config::{Selector, Tunable};
 use petal_core::Config;
 use petal_gpu::profile::MachineProfile;
 use petal_registry::{
-    decode_entry, family, fingerprint, EntryError, MatchTier, Registry, StoredEntry,
+    decode_entry, family, fingerprint, DirStore, EntryError, MatchTier, StoredEntry,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -208,7 +208,7 @@ proptest! {
         }
         let dir = temp_dir(&format!("perm-{spec_seed}-{query_which}"));
         let _ = std::fs::remove_dir_all(&dir);
-        let reg = Registry::open(&dir).expect("open");
+        let reg = DirStore::open(&dir).expect("open");
         for &i in &perm {
             reg.put_force(&pool[i]).expect("put");
         }
@@ -277,8 +277,8 @@ proptest! {
         for d in [&dir_a, &dir_b] {
             let _ = std::fs::remove_dir_all(d);
         }
-        let reg_a = Registry::open(&dir_a).expect("open a");
-        let reg_b = Registry::open(&dir_b).expect("open b");
+        let reg_a = DirStore::open(&dir_a).expect("open a");
+        let reg_b = DirStore::open(&dir_b).expect("open b");
         for &i in &perm {
             reg_a.put_force(&pool[i]).expect("put a");
         }

@@ -57,6 +57,6 @@ pub mod prelude {
     };
     pub use petal_farm::{EvalFarm, EvalJob, EvalResult, FarmSettings};
     pub use petal_gpu::profile::MachineProfile;
-    pub use petal_registry::Registry;
+    pub use petal_registry::{ConfigStore, DirStore, RemoteStore};
     pub use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
 }

@@ -5,7 +5,7 @@
 use petal::prelude::*;
 use petal_apps::blackscholes::BlackScholes;
 use petal_apps::strassen::Strassen;
-use petal_registry::{MatchTier, PutOutcome, Registry, StoredEntry};
+use petal_registry::{DirStore, MatchTier, PutOutcome, StoredEntry};
 use petal_tuner::{Autotuner, TunerSettings, WarmStart};
 
 fn settings(seed: u64) -> TunerSettings {
@@ -94,7 +94,7 @@ fn registry_warm_start_repairs_a_migration_faster_than_scratch() {
     let laptop = MachineProfile::laptop();
     let dir = std::env::temp_dir().join(format!("petal-migration-reg-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let reg = Registry::open(&dir).expect("registry opens");
+    let reg = DirStore::open(&dir).expect("registry opens");
 
     // Deployment 1: native Desktop tune, published.
     let src = Autotuner::new(&bench, &desktop, settings(6)).run();
@@ -106,7 +106,7 @@ fn registry_warm_start_repairs_a_migration_faster_than_scratch() {
         time_secs: src.time_secs,
         source: "migration-test".to_owned(),
     };
-    assert!(matches!(reg.put(&stored).expect("put succeeds"), PutOutcome::Inserted(_)));
+    assert!(matches!(reg.put(&stored).expect("put succeeds"), PutOutcome::Inserted));
 
     // Deployment 2: no Laptop entry exists, so the lookup must land on
     // the same-family (discrete-GPU) Desktop donor.
@@ -192,7 +192,7 @@ fn registry_warm_start_repairs_a_migration_faster_than_scratch() {
         time_secs: warm.time_secs,
         source: "migration-test-repair".to_owned(),
     };
-    assert!(matches!(reg.put(&repaired).expect("put succeeds"), PutOutcome::Inserted(_)));
+    assert!(matches!(reg.put(&repaired).expect("put succeeds"), PutOutcome::Inserted));
     let hit = reg
         .lookup(&laptop, &bench.spec(), bench.input_size())
         .expect("lookup succeeds")

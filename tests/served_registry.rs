@@ -1,0 +1,180 @@
+//! End-to-end served-registry loop: one `petal-farmd` process hosts both
+//! the tuned-config registry and the evaluation pool. A client whose GET
+//! misses warm-starts a tune *on that same pool*, publishes the repaired
+//! config back through the same service, and the next client exact-hits
+//! — the fleet-shared deployment story of `docs/registry.md` in one
+//! test. The registry read happens client-side before any job is
+//! dispatched, so the warm trajectory is bit-identical to the same tune
+//! against a `dir:` store at any thread count.
+
+use petal_apps::blackscholes::BlackScholes;
+use petal_apps::Benchmark;
+use petal_farm::net::Endpoint;
+use petal_farm::FarmSettings;
+use petal_farmd::{Farmd, FarmdOptions};
+use petal_gpu::profile::MachineProfile;
+use petal_registry::{ConfigStore, DirStore, MatchTier, PutOutcome, RemoteStore, StoredEntry};
+use petal_shard::remote::{serve_remote, RemoteOptions};
+use petal_tuner::{Autotuner, Tuned, TunerSettings, WarmStart};
+use std::time::Duration;
+
+/// Everything the search decided must agree; only the farm-shaped
+/// accounting (worker counts) legitimately differs between modes.
+fn assert_trajectory_eq(got: &Tuned, want: &Tuned, label: &str) {
+    assert_eq!(got.config, want.config, "{label}: config diverged");
+    assert_eq!(got.time_secs, want.time_secs, "{label}: best time diverged");
+    assert_eq!(got.stats.trials, want.stats.trials, "{label}");
+    assert_eq!(got.stats.rejected, want.stats.rejected, "{label}");
+    assert_eq!(got.stats.tuning_secs, want.stats.tuning_secs, "{label}");
+    assert_eq!(got.stats.compile_secs, want.stats.compile_secs, "{label}");
+    assert_eq!(got.stats.kicks, want.stats.kicks, "{label}");
+    assert_eq!(got.stats.round_best, want.stats.round_best, "{label}");
+    assert_eq!(got.stats.warm_source, want.stats.warm_source, "{label}");
+}
+
+fn warm_settings(farm: FarmSettings, warm_start: Option<WarmStart>) -> TunerSettings {
+    TunerSettings { seed: 0x5eed, farm, warm_start, ..TunerSettings::smoke() }
+}
+
+#[test]
+fn a_cold_miss_warm_tunes_on_the_pool_and_publishes_back() {
+    let desktop = MachineProfile::desktop();
+    let laptop = MachineProfile::laptop();
+    let bench = BlackScholes::new(4_096);
+
+    // One dispatcher hosting both halves: the registry and the job pool.
+    let reg_dir =
+        std::env::temp_dir().join(format!("petal-served-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&reg_dir);
+    let farmd = Farmd::bind(
+        &[Endpoint::Tcp("127.0.0.1:0".to_owned())],
+        FarmdOptions { registry: Some(reg_dir.clone()), ..FarmdOptions::default() },
+    )
+    .expect("bind dispatcher");
+    let ep = farmd.endpoints()[0].clone();
+
+    // Two in-process workers join the pool before any client shows up.
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let opts = RemoteOptions {
+                name: format!("e2e-worker-{i}"),
+                ..RemoteOptions::new(ep.to_string())
+            };
+            std::thread::spawn(move || {
+                let _ = serve_remote(&opts);
+            })
+        })
+        .collect();
+    assert!(farmd.wait_workers(2, Duration::from_secs(10)), "workers registered");
+
+    // The fleet's past: a Desktop tune, published through the service.
+    let donor_tune =
+        Autotuner::new(&bench, &desktop, warm_settings(FarmSettings::sequential(), None)).run();
+    let publisher = RemoteStore::connect(&ep).expect("publisher connects");
+    let outcome = publisher
+        .put(
+            &StoredEntry {
+                machine: desktop.clone(),
+                bench_spec: bench.spec(),
+                size: bench.input_size(),
+                config: donor_tune.config.clone(),
+                time_secs: donor_tune.time_secs,
+                source: "e2e-desktop".to_owned(),
+            },
+            false,
+        )
+        .expect("donor publishes");
+    assert_eq!(outcome, PutOutcome::Inserted);
+    drop(publisher);
+
+    // A Laptop client: the exact GET misses cold, the nearest-key GET
+    // finds the same-family Desktop donor over the socket.
+    let client = RemoteStore::connect(&ep).expect("client connects");
+    assert!(
+        client
+            .lookup(&laptop, &bench.spec(), bench.input_size(), true)
+            .expect("exact lookup runs")
+            .is_none(),
+        "the laptop's first visit is a cold exact miss"
+    );
+    let hit = client
+        .lookup(&laptop, &bench.spec(), bench.input_size(), false)
+        .expect("nearest-key lookup runs")
+        .expect("family donor found");
+    assert_eq!(hit.tier, MatchTier::Family);
+    assert_eq!(hit.entry.machine.codename, "Desktop");
+    assert_eq!(hit.entry.config, donor_tune.config, "the donor travels unmodified");
+
+    // The dir-backed store over the *served* directory answers the same
+    // query identically — local and remote are one store semantically.
+    let dir_store = DirStore::open(&reg_dir).expect("dir store opens");
+    let local_hit =
+        ConfigStore::lookup(&dir_store, &laptop, &bench.spec(), bench.input_size(), false)
+            .expect("local lookup runs")
+            .expect("same donor found");
+    assert_eq!(local_hit.tier, hit.tier);
+    assert_eq!(local_hit.entry.config, hit.entry.config);
+    assert_eq!(local_hit.distance, hit.distance);
+
+    // The miss schedules a warm-started tune on the very pool that
+    // serves the registry.
+    let warm_start = Some(WarmStart {
+        config: hit.entry.config.clone(),
+        source: format!("registry:{}:{}", hit.tier, hit.entry.machine.codename),
+    });
+    let pool_tuned = Autotuner::new(
+        &bench,
+        &laptop,
+        warm_settings(FarmSettings::remote(ep.to_string()), warm_start.clone()),
+    )
+    .run();
+
+    // Determinism contract: the same warm tune against the `dir:` store
+    // is bit-identical at 1 and 8 local threads.
+    for threads in [1usize, 8] {
+        let local = Autotuner::new(
+            &bench,
+            &laptop,
+            warm_settings(
+                FarmSettings { threads, ..FarmSettings::sequential() },
+                warm_start.clone(),
+            ),
+        )
+        .run();
+        assert_trajectory_eq(&local, &pool_tuned, &format!("dir-store control, {threads} threads"));
+    }
+
+    // Publish the repaired config back in the same client session.
+    let outcome = client
+        .put(
+            &StoredEntry {
+                machine: laptop.clone(),
+                bench_spec: bench.spec(),
+                size: bench.input_size(),
+                config: pool_tuned.config.clone(),
+                time_secs: pool_tuned.time_secs,
+                source: "e2e-repair".to_owned(),
+            },
+            false,
+        )
+        .expect("repair publishes");
+    assert_eq!(outcome, PutOutcome::Inserted);
+    drop(client);
+
+    // A second client's exact GET now hits: the loop is closed.
+    let second = RemoteStore::connect(&ep).expect("second client connects");
+    let hit = second
+        .lookup(&laptop, &bench.spec(), bench.input_size(), true)
+        .expect("exact lookup runs")
+        .expect("exact hit after publish-back");
+    assert_eq!(hit.tier, MatchTier::Exact);
+    assert_eq!(hit.entry.config, pool_tuned.config);
+    assert_eq!(hit.entry.source, "e2e-repair");
+    drop(second);
+
+    drop(farmd);
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_dir_all(&reg_dir);
+}
