@@ -57,6 +57,40 @@ PETAL_FARMD="unix:$FARMD_SOCK" ./target/release/fig7_migration scholes >/dev/nul
 kill "$FARMD_PID" 2>/dev/null || true
 wait "$FARMD_PID" 2>/dev/null || true
 
+echo "== farmd bounce smoke (SIGKILL the journaled dispatcher mid-fig2, restart, same config)"
+# Crash recovery end-to-end on the release binaries: fig2 tunes against
+# a --journal dispatcher that is killed with SIGKILL mid-run and
+# restarted on the same socket over the same journal. The workers
+# reconnect, the client resumes its session by token, and fig2's own
+# asserts prove the Tuned.config is bit-identical to the in-process
+# farm. (Outputs go to files — pipes would SIGPIPE under pipefail.)
+BOUNCE_SOCK="$(mktemp -u /tmp/petal-bounce-ci.XXXXXX.sock)"
+BOUNCE_DIR="$(mktemp -d /tmp/petal-bounce-ci.XXXXXX)"
+./target/release/petal-farmd --listen "unix:$BOUNCE_SOCK" --journal "$BOUNCE_DIR/journal" \
+  2>"$BOUNCE_DIR/farmd-1.log" &
+BOUNCE_PID=$!
+./target/release/petal-shard --connect "unix:$BOUNCE_SOCK" --name bounce-a 2>/dev/null &
+BOUNCE_A_PID=$!
+./target/release/petal-shard --connect "unix:$BOUNCE_SOCK" --name bounce-b 2>/dev/null &
+BOUNCE_B_PID=$!
+trap 'kill -9 "$FIG2_PID" 2>/dev/null || true; kill "$BOUNCE_PID" "$BOUNCE_A_PID" "$BOUNCE_B_PID" "$FARMD_PID" "$WORKER_B_PID" 2>/dev/null || true; rm -rf "$BOUNCE_DIR"; rm -f "$BOUNCE_SOCK" "$FARMD_SOCK"' EXIT
+PETAL_SMOKE=1 PETAL_FARMD="unix:$BOUNCE_SOCK" \
+  ./target/release/fig2_convolution >"$BOUNCE_DIR/fig2.out" &
+FIG2_PID=$!
+sleep 1
+kill -9 "$BOUNCE_PID" 2>/dev/null || true
+wait "$BOUNCE_PID" 2>/dev/null || true
+./target/release/petal-farmd --listen "unix:$BOUNCE_SOCK" --journal "$BOUNCE_DIR/journal" \
+  2>"$BOUNCE_DIR/farmd-2.log" &
+BOUNCE_PID=$!
+wait "$FIG2_PID" \
+  || { echo "bounce smoke: fig2 failed across the dispatcher bounce"; cat "$BOUNCE_DIR"/farmd-*.log; exit 1; }
+kill "$BOUNCE_PID" "$BOUNCE_A_PID" "$BOUNCE_B_PID" 2>/dev/null || true
+wait "$BOUNCE_PID" 2>/dev/null || true
+rm -rf "$BOUNCE_DIR"
+rm -f "$BOUNCE_SOCK"
+trap 'kill "$FARMD_PID" "$WORKER_B_PID" 2>/dev/null || true; rm -f "$FARMD_SOCK"' EXIT
+
 echo "== registry smoke (tune -> put -> migrate -> warm-start get -> repair curve)"
 # fig7 with --registry stores every native tune and prints the
 # repair-curve table; the parity@gen cells only appear when a
@@ -123,7 +157,7 @@ wait "$REGD_PID" 2>/dev/null || true
 rm -rf "$REGD_DIR"
 rm -f "$REGD_SOCK"
 
-echo "== farmd soak (PETAL_SOAK=1 opt-in: thousands of jobs through a churning mixed pool)"
+echo "== farmd soak (PETAL_SOAK=1 opt-in: thousands of jobs, worker churn + a dispatcher bounce)"
 if [[ "${PETAL_SOAK:-0}" == "1" ]]; then
   PETAL_SOAK=1 cargo test -q --offline -p petal_shard --test farmd_soak
 else

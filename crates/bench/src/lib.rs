@@ -112,6 +112,13 @@ impl HarnessArgs {
                     "--farmd needs a dispatcher socket, not the directory `{}`",
                     d.display()
                 )),
+                Endpoint::Fallback(elements)
+                    if elements.iter().any(|e| matches!(e, Endpoint::Dir(_))) =>
+                {
+                    Err(format!(
+                        "--farmd needs dispatcher sockets; the list `{raw}` contains a directory"
+                    ))
+                }
                 e => Ok(Some(e)),
             }
         };
@@ -222,9 +229,10 @@ pub fn shards_flag() -> usize {
 /// `--farmd <endpoint>` flag (or `PETAL_FARMD=<endpoint>`) shared by the
 /// harness binaries: evaluate against the `petal-farmd` dispatcher at
 /// `host:port`, `tcp:host:port` or `unix:<path>` instead of local
-/// workers. Results are bit-identical to every local mode; `--farmd
-/// none` forces local evaluation when the environment variable is
-/// exported.
+/// workers — or a comma-separated fallback list of dispatcher sockets,
+/// walked in order on every connect. Results are bit-identical to every
+/// local mode; `--farmd none` forces local evaluation when the
+/// environment variable is exported.
 #[must_use]
 pub fn farmd_flag() -> Option<Endpoint> {
     HarnessArgs::from_env().farmd
@@ -234,8 +242,10 @@ pub fn farmd_flag() -> Option<Endpoint> {
 /// by the harness binaries: the tuned-config registry, either a local
 /// directory (`dir:<path>` or a bare path) or a served registry
 /// (`tcp:host:port` / `unix:<path>`, a `petal-farmd --registry`
-/// dispatcher). `--registry none` forces registry-free operation when
-/// the environment variable is exported.
+/// dispatcher). A comma-separated list (`tcp:a:1,tcp:b:1,dir:/srv/reg`)
+/// fails over across registry hosts, with a `dir:` element as the
+/// terminal local fallback. `--registry none` forces registry-free
+/// operation when the environment variable is exported.
 #[must_use]
 pub fn registry_flag() -> Option<Endpoint> {
     HarnessArgs::from_env().registry
@@ -316,15 +326,57 @@ pub fn tune(bench: &dyn Benchmark, machine: &MachineProfile) -> Tuned {
 /// `petal-farmd --registry` dispatcher. The two are indistinguishable
 /// behind the returned [`ConfigStore`].
 ///
+/// A comma-separated fallback list walks its elements in order: socket
+/// elements are tried first (the [`RemoteStore`] walks them on every
+/// connect), and a `dir:` element — if present — is the terminal local
+/// fallback when no service answers, so `tcp:a:1,tcp:b:1,dir:/srv/reg`
+/// degrades from the primary registry host to a standby to a plain
+/// directory without killing the run.
+///
 /// # Errors
 /// A human-readable message when the directory cannot be opened, the
-/// service cannot be reached, or the endpoint is `none`.
+/// service cannot be reached (and no `dir:` fallback exists), or the
+/// endpoint is `none`.
 pub fn open_config_store(endpoint: &Endpoint) -> Result<Box<dyn ConfigStore>, String> {
-    match endpoint {
-        Endpoint::Dir(dir) => DirStore::open(dir.clone())
+    let open_dir = |dir: &std::path::Path| {
+        DirStore::open(dir.to_path_buf())
             .map(|s| Box::new(s) as Box<dyn ConfigStore>)
-            .map_err(|e| format!("cannot open registry directory `{}`: {e}", dir.display())),
+            .map_err(|e| format!("cannot open registry directory `{}`: {e}", dir.display()))
+    };
+    match endpoint {
+        Endpoint::Dir(dir) => open_dir(dir),
         Endpoint::Disabled => Err("the registry is disabled (`none`)".to_owned()),
+        Endpoint::Fallback(elements) => {
+            let dir = elements.iter().find_map(|e| match e {
+                Endpoint::Dir(d) => Some(d.clone()),
+                _ => None,
+            });
+            let service_err = if endpoint.socket_elements().is_empty() {
+                None
+            } else {
+                match RemoteStore::connect(endpoint) {
+                    Ok(s) => return Ok(Box::new(s)),
+                    Err(e) => Some(e),
+                }
+            };
+            match (dir, service_err) {
+                (Some(d), Some(e)) => {
+                    eprintln!(
+                        "warning: registry service unreachable ({e}); \
+                         falling back to directory `{}`",
+                        d.display()
+                    );
+                    open_dir(&d)
+                }
+                (Some(d), None) => open_dir(&d),
+                (None, Some(e)) => {
+                    Err(format!("cannot reach the registry service at `{endpoint}`: {e}"))
+                }
+                (None, None) => {
+                    Err(format!("registry endpoint list `{endpoint}` has nothing to open"))
+                }
+            }
+        }
         remote => RemoteStore::connect(remote)
             .map(|s| Box::new(s) as Box<dyn ConfigStore>)
             .map_err(|e| format!("cannot reach the registry service at `{remote}`: {e}")),

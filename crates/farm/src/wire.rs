@@ -12,7 +12,8 @@
 //!   (`INIT`, `READY`, `JOB`, `RESULT`, `DONE`; since wire version 2,
 //!   for the socket-served farm, `HELLO`, `REGISTER`, `HEARTBEAT`,
 //!   `GOODBYE`; since version 3, for the served config registry,
-//!   `REG_GET`, `REG_PUT`, `REG_HIT`, `REG_MISS`).
+//!   `REG_GET`, `REG_PUT`, `REG_HIT`, `REG_MISS`; since version 4, for
+//!   crash-safe client sessions, `SESSION` and `RESUME`).
 //! * **Length-prefixed fields.** Each field is ` <len>:<bytes>` where
 //!   `len` is the decimal byte length of `<bytes>` *after* escaping. The
 //!   prefix makes spaces inside fields unambiguous without quoting.
@@ -62,6 +63,19 @@
 //! Keep-best merge and persistence happen dispatcher-side, so
 //! concurrent `REG_PUT`s from many clients are serialized and
 //! deterministic.
+//!
+//! Session resume flow (version 4, see `docs/farmd.md`): when a v4
+//! client's `INIT` is accepted the dispatcher follows its `READY` with
+//! one `SESSION` record carrying a (token, nonce) pair. If the
+//! connection later breaks — including across a dispatcher restart that
+//! recovered its state from a `--journal` — the client reconnects,
+//! exchanges `HELLO`s, and sends `RESUME` (token, nonce) instead of
+//! `INIT`; the dispatcher re-attaches the session (answering `READY`
+//! then `SESSION` again) or refuses with a `GOODBYE` naming the unknown
+//! token. After a resume the client re-submits exactly its unanswered
+//! `JOB` indices; the dispatcher deduplicates queued/in-flight indices
+//! and re-serves already-completed ones from its result log, so replays
+//! are idempotent and the merged trajectory is bit-identical.
 
 use crate::{EvalJob, JobOutcome};
 use petal_core::Config;
@@ -72,14 +86,20 @@ use std::fmt;
 /// Version 2 added the socket-served farm records (`HELLO`, `REGISTER`,
 /// `HEARTBEAT`, `GOODBYE`) and out-of-order `RESULT` delivery to
 /// clients. Version 3 added the served-registry records (`REG_GET`,
-/// `REG_PUT`, `REG_HIT`, `REG_MISS`).
-pub const WIRE_VERSION: u64 = 3;
+/// `REG_PUT`, `REG_HIT`, `REG_MISS`). Version 4 added the crash-safe
+/// session records (`SESSION`, `RESUME`).
+pub const WIRE_VERSION: u64 = 4;
 
 /// Oldest protocol version this build still speaks. Each version is a
 /// pure superset of the one before (older records are unchanged), so a
-/// v3 worker serves a v1 parent and a v3 dispatcher serves v2 peers —
-/// they simply never see a registry record.
+/// v4 worker serves a v1 parent and a v4 dispatcher serves v2 peers —
+/// they simply never see a registry or session record.
 pub const MIN_WIRE_VERSION: u64 = 1;
+
+/// First wire version with the crash-safe session records (`SESSION`,
+/// `RESUME`). Both sides key resume behavior off the *negotiated*
+/// version reaching this, so a v≤3 peer sees exactly the old protocol.
+pub const RESUME_WIRE_VERSION: u64 = 4;
 
 /// Settle a common wire version from two advertised `min..=max` ranges:
 /// the highest version both sides speak.
@@ -403,6 +423,16 @@ impl WireEncoder {
                 out.push_str("REG_MISS");
                 push_field_raw(out, reason);
             }
+            Message::Session { token, nonce } => {
+                out.push_str("SESSION");
+                self.field_display(out, token);
+                self.field_display(out, nonce);
+            }
+            Message::Resume { token, nonce } => {
+                out.push_str("RESUME");
+                self.field_display(out, token);
+                self.field_display(out, nonce);
+            }
         }
     }
 
@@ -599,6 +629,28 @@ pub enum Message {
         /// Human-readable outcome, newline-separated as described above.
         reason: String,
     },
+    /// Dispatcher → client (v4): the session's resume credentials, sent
+    /// immediately after the `READY` that accepted an `INIT` (and again
+    /// after each successful `RESUME`). A client that never resumes can
+    /// ignore it.
+    Session {
+        /// The dispatcher-assigned session id.
+        token: u64,
+        /// Dispatcher-chosen secret the client must echo on resume, so a
+        /// stale or guessed token cannot capture another client's
+        /// session.
+        nonce: u64,
+    },
+    /// Client → dispatcher (v4), instead of `INIT` after `HELLO`:
+    /// re-attach a live or journal-recovered session. Answered with
+    /// `READY` + `SESSION` on success, `GOODBYE` on an unknown or
+    /// mismatched (token, nonce).
+    Resume {
+        /// The token from the session's [`Message::Session`] record.
+        token: u64,
+        /// The nonce from the same record.
+        nonce: u64,
+    },
 }
 
 /// A tuned-config registry entry as it travels in [`Message::RegPut`]
@@ -714,6 +766,8 @@ impl Message {
                 Message::RegHit { verdict, distance, scaled_from, entry }
             }
             "REG_MISS" => Message::RegMiss { reason: r.str()?.to_owned() },
+            "SESSION" => Message::Session { token: r.u64()?, nonce: r.u64()? },
+            "RESUME" => Message::Resume { token: r.u64()?, nonce: r.u64()? },
             tag => return Err(WireError::new(format!("unknown tag `{tag}`"))),
         };
         r.finish()?;
@@ -852,6 +906,8 @@ mod tests {
             Message::Register { name: "rack7/worker-3".to_owned(), slots: 2, pid: 4242 },
             Message::Heartbeat { seq: u64::MAX },
             Message::Goodbye { reason: "drained: operator shutdown".to_owned() },
+            Message::Session { token: 7, nonce: u64::MAX },
+            Message::Resume { token: u64::MAX, nonce: 0 },
         ];
         for msg in messages {
             let line = msg.encode();

@@ -8,6 +8,7 @@
 
 use petal_core::config::{Selector, Tunable};
 use petal_core::Config;
+use petal_farm::net::Endpoint;
 use petal_farm::wire::{negotiate, version_supported, Message, Record, RegEntry, WIRE_VERSION};
 use petal_farm::{EvalJob, JobOutcome};
 use proptest::collection::vec;
@@ -333,6 +334,74 @@ proptest! {
         prop_assert_eq!(agreed.is_ok(), overlap);
         if let Ok(v) = agreed {
             prop_assert!(version_supported(v));
+        }
+    }
+
+    // ---- session-resume records (wire v4) ----
+
+    #[test]
+    fn session_and_resume_records_round_trip(token in any::<u64>(), nonce in any::<u64>()) {
+        for msg in [Message::Session { token, nonce }, Message::Resume { token, nonce }] {
+            let line = msg.encode();
+            prop_assert_eq!(Message::decode(&line).expect("decodes"), msg);
+        }
+    }
+
+    // ---- endpoint grammar (fallback lists) ----
+
+    #[test]
+    fn endpoint_display_parse_is_the_identity_on_canonical_lists(
+        kinds in vec((0u64..3, any::<u64>()), 1..5),
+    ) {
+        // Canonical spellings only: TCP displays bare (its historical
+        // form), unix/dir keep their prefixes.
+        let elements: Vec<String> = kinds
+            .iter()
+            .map(|&(kind, seed)| match kind {
+                0 => format!("h{}:{}", seed % 100, seed % 65_536),
+                1 => format!("unix:/tmp/s{}.sock", seed % 1_000),
+                _ => format!("dir:/srv/r{}", seed % 1_000),
+            })
+            .collect();
+        let text = elements.join(",");
+        let parsed = Endpoint::parse(&text).expect("canonical list parses");
+        prop_assert_eq!(parsed.to_string(), text);
+        // And re-parsing the displayed form gives back the same value.
+        prop_assert_eq!(Endpoint::parse(&parsed.to_string()), Ok(parsed));
+    }
+
+    #[test]
+    fn endpoint_rejections_echo_the_input_and_the_grammar(
+        kinds in vec((0u64..3, any::<u64>()), 0..4),
+        bad_kind in 0u64..5,
+        at_seed in any::<u64>(),
+    ) {
+        // Inject one malformed element into an otherwise valid list; the
+        // diagnostic must echo the offender and teach the grammar.
+        let bad = match bad_kind {
+            0 => "tcp:portless",
+            1 => "unix:",
+            2 => "dir:",
+            3 => "nocolon",
+            _ => "none", // legal alone, illegal inside a list
+        };
+        let mut elements: Vec<String> = kinds
+            .iter()
+            .map(|&(kind, seed)| match kind {
+                0 => format!("h{}:{}", seed % 100, seed % 65_536),
+                1 => format!("unix:/tmp/s{}.sock", seed % 1_000),
+                _ => format!("dir:/srv/r{}", seed % 1_000),
+            })
+            .collect();
+        let at = (at_seed % (elements.len() as u64 + 1)) as usize;
+        elements.insert(at, bad.to_owned());
+        let text = elements.join(",");
+        if elements.len() == 1 && bad == "none" {
+            prop_assert_eq!(Endpoint::parse(&text), Ok(Endpoint::Disabled));
+        } else {
+            let e = Endpoint::parse(&text).expect_err("malformed element must be rejected");
+            prop_assert!(e.contains(bad), "error must echo `{}`: {}", bad, e);
+            prop_assert!(e.contains("tcp:host:port"), "error must teach the grammar: {}", e);
         }
     }
 }

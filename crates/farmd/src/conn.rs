@@ -13,7 +13,7 @@
 use crate::Shared;
 use petal_farm::net::FarmStream;
 use petal_farm::wire::{
-    negotiate, Message, WireEncoder, WireError, MIN_WIRE_VERSION, WIRE_VERSION,
+    negotiate, Message, WireEncoder, WireError, MIN_WIRE_VERSION, RESUME_WIRE_VERSION, WIRE_VERSION,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::sync::atomic::Ordering;
@@ -23,6 +23,14 @@ use std::time::{Duration, Instant};
 /// Socket read timeout: the cadence at which reader threads notice the
 /// stop flag (and handshake deadlines).
 pub(crate) const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Socket write timeout on every dispatcher connection. A peer that
+/// stops draining its receive buffer turns a blocked `write(2)` into an
+/// error after this long, and the error takes the ordinary loss path
+/// (worker drain + re-queue, or client detach) — the scheduler thread
+/// must never be parked forever inside a send while holding a writer
+/// mutex.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How long a freshly accepted connection gets to complete its
 /// handshake before being dropped as hostile/dead.
@@ -109,6 +117,9 @@ pub(crate) fn serve_conn(shared: &Arc<Shared>, stream: FarmStream, peer: &str) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    if write_half.set_write_timeout(Some(WRITE_TIMEOUT)).is_err() {
+        return;
+    }
     let writer = Arc::new(Mutex::new(LineWriter::new(write_half)));
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
@@ -136,9 +147,10 @@ pub(crate) fn serve_conn(shared: &Arc<Shared>, stream: FarmStream, peer: &str) {
     if writer.lock().expect("writer lock").send(&Message::hello()).is_err() {
         return;
     }
-    if let Err(e) = negotiate((MIN_WIRE_VERSION, WIRE_VERSION), theirs) {
-        return goodbye(e.to_string());
-    }
+    let negotiated = match negotiate((MIN_WIRE_VERSION, WIRE_VERSION), theirs) {
+        Ok(v) => v,
+        Err(e) => return goodbye(e.to_string()),
+    };
 
     // Role detection: the first post-HELLO message decides what this
     // connection is.
@@ -147,7 +159,20 @@ pub(crate) fn serve_conn(shared: &Arc<Shared>, stream: FarmStream, peer: &str) {
             serve_worker(shared, reader, buf, &writer, &name, slots, pid, peer);
         }
         Ok(Incoming::Msg(Message::Init { version, bench_spec, machine })) => {
-            serve_client(shared, reader, buf, &writer, version, &bench_spec, *machine, peer);
+            serve_client(
+                shared,
+                reader,
+                buf,
+                &writer,
+                version,
+                &bench_spec,
+                *machine,
+                peer,
+                negotiated,
+            );
+        }
+        Ok(Incoming::Msg(Message::Resume { token, nonce })) => {
+            serve_resumed_client(shared, reader, buf, &writer, token, nonce, peer);
         }
         Ok(Incoming::Msg(first @ (Message::RegGet { .. } | Message::RegPut { .. }))) => {
             if shared.hosts_registry() {
@@ -158,7 +183,7 @@ pub(crate) fn serve_conn(shared: &Arc<Shared>, stream: FarmStream, peer: &str) {
         }
         Ok(Incoming::Msg(other)) => {
             goodbye(format!(
-                "expected REGISTER, INIT or a registry request after HELLO, got {}",
+                "expected REGISTER, INIT, RESUME or a registry request after HELLO, got {}",
                 tag_of(&other)
             ));
         }
@@ -183,6 +208,8 @@ fn tag_of(msg: &Message) -> &'static str {
         Message::RegPut { .. } => "REG_PUT",
         Message::RegHit { .. } => "REG_HIT",
         Message::RegMiss { .. } => "REG_MISS",
+        Message::Session { .. } => "SESSION",
+        Message::Resume { .. } => "RESUME",
     }
 }
 
@@ -321,13 +348,14 @@ fn serve_worker(
 #[allow(clippy::too_many_arguments)]
 fn serve_client(
     shared: &Arc<Shared>,
-    mut reader: BufReader<FarmStream>,
-    mut buf: Vec<u8>,
+    reader: BufReader<FarmStream>,
+    buf: Vec<u8>,
     writer: &Arc<Mutex<LineWriter>>,
     version: u64,
     bench_spec: &str,
     machine: petal_gpu::profile::MachineProfile,
     peer: &str,
+    negotiated: u64,
 ) {
     // Validate the spec *here*, not on a worker: a bad spec must bounce
     // the client, not cascade through the fleet killing workers.
@@ -338,13 +366,76 @@ fn serve_client(
         w.shutdown();
         return;
     }
-    let session = shared.open_session(bench_spec, machine, Arc::clone(writer));
+    // A client that negotiated the resume-capable wire version gets a
+    // session token and survives dispatcher bounces; older clients get
+    // the pre-v4 close-on-disconnect behavior.
+    let resumable = negotiated >= RESUME_WIRE_VERSION;
+    let (session, nonce) = shared.open_session(bench_spec, machine, Arc::clone(writer), resumable);
     eprintln!("petal-farmd: session {session} `{bench_spec}` opened from {peer}");
     // READY echoes the client's INIT version, mirroring the pipe worker.
-    if writer.lock().expect("writer lock").send(&Message::Ready { version }).is_err() {
+    // The SESSION credentials follow immediately for resumable clients.
+    let sent = {
+        let mut w = writer.lock().expect("writer lock");
+        w.send(&Message::Ready { version }).is_ok()
+            && (!resumable || w.send(&Message::Session { token: session, nonce }).is_ok())
+    };
+    if !sent {
+        // The client never received its token, so nothing can resume
+        // this session: close it outright rather than detach.
         shared.close_session(session, "client write failed");
         return;
     }
+    client_loop(shared, reader, buf, writer, session, 1);
+}
+
+/// Serve a client re-attaching to a detached (or journal-recovered)
+/// session with a `RESUME` token instead of a fresh `INIT`.
+fn serve_resumed_client(
+    shared: &Arc<Shared>,
+    reader: BufReader<FarmStream>,
+    buf: Vec<u8>,
+    writer: &Arc<Mutex<LineWriter>>,
+    token: u64,
+    nonce: u64,
+    peer: &str,
+) {
+    let epoch = match shared.resume_session(token, nonce, Arc::clone(writer)) {
+        Ok(epoch) => epoch,
+        Err(reason) => {
+            let mut w = writer.lock().expect("writer lock");
+            let _ = w.send(&Message::Goodbye { reason });
+            w.shutdown();
+            return;
+        }
+    };
+    let spec = shared.session_spec(token).unwrap_or_default();
+    eprintln!("petal-farmd: session {token} `{spec}` resumed from {peer}");
+    let sent = {
+        let mut w = writer.lock().expect("writer lock");
+        w.send(&Message::Ready { version: WIRE_VERSION }).is_ok()
+            && w.send(&Message::Session { token, nonce }).is_ok()
+    };
+    if !sent {
+        // The client still holds a valid token; detach and let it try
+        // again rather than destroying the session.
+        shared.client_gone(token, epoch, "client write failed during resume");
+        return;
+    }
+    client_loop(shared, reader, buf, writer, token, epoch);
+}
+
+/// Shared post-handshake client loop. `epoch` is the attach generation
+/// this reader belongs to: its disconnect paths go through
+/// [`Shared::client_gone`], which no-ops if a newer connection has
+/// since resumed the session.
+fn client_loop(
+    shared: &Arc<Shared>,
+    mut reader: BufReader<FarmStream>,
+    mut buf: Vec<u8>,
+    writer: &Arc<Mutex<LineWriter>>,
+    session: u64,
+    epoch: u64,
+) {
     loop {
         match read_msg(&mut reader, &mut buf, shared, None) {
             Ok(Incoming::Msg(Message::Job { index, job })) => {
@@ -365,11 +456,13 @@ fn serve_client(
                 return;
             }
             Ok(Incoming::Eof) => {
-                shared.close_session(session, "client disconnected");
+                shared.client_gone(session, epoch, "client disconnected");
                 return;
             }
             Ok(Incoming::Stopped) => {
-                shared.close_session(session, "dispatcher shutting down");
+                // A hard stop (abort) must *detach*, not close: closing
+                // would journal the session away and defeat recovery.
+                shared.client_gone(session, epoch, "dispatcher shutting down");
                 return;
             }
             Err(e) => {

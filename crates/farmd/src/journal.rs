@@ -1,0 +1,488 @@
+//! The durable dispatcher journal: an append-only, wire-codec log of
+//! session/job lifecycle events, so a dispatcher started with
+//! `--journal <dir>` replays to its exact pre-crash queue/session state
+//! and resumes mid-batch.
+//!
+//! ## Record format
+//!
+//! Journal lines reuse the wire framing ([`Record`]): one record per
+//! line, length-prefixed escaped fields, so torn tails and hostile
+//! payloads are handled by the same battle-tested codec the sockets
+//! use. Where a record carries a whole protocol message (the session's
+//! `INIT`, a queued `JOB`, a forwarded `RESULT`), the message's own
+//! encoded line is embedded as **one escaped field** — the journal
+//! never re-flattens message payloads, so the two codecs cannot drift.
+//!
+//! | Tag        | Fields                                | Meaning on replay |
+//! |------------|---------------------------------------|-------------------|
+//! | `J_NEXT`   | next session id                       | floor for the session counter (ids never reused across restarts) |
+//! | `J_OPEN`   | session, nonce, embedded `INIT` line  | session accepted; restores spec/machine/resume-nonce |
+//! | `J_JOB`    | session, embedded `JOB` line          | job queued (pending unless a later `J_RESULT` answers it) |
+//! | `J_ASSIGN` | session, index, worker id             | diagnostics only — assignment dies with the worker connection, so replay re-queues instead |
+//! | `J_RESULT` | session, embedded `RESULT` line       | result forwarded; moves the index from pending to done (the full outcome is stored so recovery re-serves it without re-evaluating) |
+//! | `J_CLOSE`  | session                               | session retired; drops all its records |
+//!
+//! ## Durability and crash ordering
+//!
+//! Every append is a single `write_all` of one full line on an
+//! append-only descriptor, so a `SIGKILL` of the dispatcher can lose at
+//! most the line being written — never corrupt an earlier one — and
+//! [`Journal::open`] tolerates exactly that torn tail by dropping any
+//! trailing partial line. (There is no per-append `fsync`: process
+//! death does not lose the page cache; only a whole-OS crash can, and
+//! that is outside this journal's contract.) A `RESULT` is journaled
+//! *before* the socket send, so either the client got the result (and
+//! never re-asks) or the journal has it (and recovery re-serves it) —
+//! both orders converge to the same merged trajectory.
+//!
+//! ## Compaction
+//!
+//! Dead records (answered `J_JOB`s, `J_ASSIGN`s, records of closed
+//! sessions) accumulate; once enough do, the journal is rewritten as
+//! `J_NEXT` + each open session's `J_OPEN`, pending `J_JOB`s and done
+//! `J_RESULT`s, to a temp file that is fsynced and atomically renamed
+//! over the log — a crash during compaction leaves either the old or
+//! the new file, never a mix.
+
+use petal_farm::wire::{Message, Record, WIRE_VERSION};
+use petal_farm::{EvalJob, JobOutcome};
+use petal_gpu::profile::MachineProfile;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Dead records tolerated before the log is compacted in place.
+const COMPACT_DEAD_THRESHOLD: u64 = 2048;
+
+/// One session as reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub(crate) struct RecoveredSession {
+    /// The session's benchmark spec (from its embedded `INIT`).
+    pub bench_spec: String,
+    /// The session's machine profile (from its embedded `INIT`).
+    pub machine: MachineProfile,
+    /// The resume secret handed to the client in its `SESSION` record.
+    pub nonce: u64,
+    /// Jobs queued and not yet answered, by submission index.
+    pub pending: BTreeMap<u64, EvalJob>,
+    /// Results already forwarded, by submission index — re-served to a
+    /// resuming client instead of re-evaluating.
+    pub done: BTreeMap<u64, JobOutcome>,
+}
+
+/// The journal's mirror of live dispatcher state: exactly what replay
+/// reconstructs, maintained incrementally so compaction can rewrite the
+/// log without consulting the dispatcher.
+#[derive(Debug, Default)]
+pub(crate) struct JournalState {
+    /// The next session id a recovered dispatcher may assign.
+    pub next_session: u64,
+    /// Open sessions by id.
+    pub sessions: BTreeMap<u64, RecoveredSession>,
+}
+
+/// The append handle plus its mirrored state. Lives inside the
+/// dispatcher's global lock, so appends serialize with the state
+/// mutations they record.
+pub(crate) struct Journal {
+    path: PathBuf,
+    file: File,
+    state: JournalState,
+    /// Records in the file that replay would discard; drives compaction.
+    dead: u64,
+    /// Reusable append buffer.
+    line: String,
+}
+
+impl Journal {
+    /// Open (or create) the journal under `dir`, replay it into a fresh
+    /// [`JournalState`], and compact once so a torn tail from the last
+    /// crash is truncated away.
+    pub(crate) fn open(dir: &Path) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("journal.log");
+        let mut state = JournalState { next_session: 1, sessions: BTreeMap::new() };
+        let mut dead = 0u64;
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)?.read_to_string(&mut text)?;
+            let mut rest = text.as_str();
+            while let Some(nl) = rest.find('\n') {
+                let line = &rest[..nl];
+                rest = &rest[nl + 1..];
+                match replay_line(&mut state, line) {
+                    Ok(line_dead) => dead += line_dead,
+                    Err(e) => {
+                        // Corruption before the tail is not a torn
+                        // append; refuse to guess at what was lost.
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("journal {} is corrupt: {e} in `{line}`", path.display()),
+                        ));
+                    }
+                }
+            }
+            if !rest.is_empty() {
+                eprintln!(
+                    "petal-farmd: journal {} ends in a torn line ({} bytes); \
+                     dropping it (crash mid-append)",
+                    path.display(),
+                    rest.len()
+                );
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut journal = Journal { path, file, state, dead, line: String::new() };
+        // Always compact on open: truncates any torn tail and starts
+        // the new process from a minimal log.
+        journal.compact()?;
+        Ok(journal)
+    }
+
+    /// The replayed state, for recovery in `Farmd::bind`.
+    pub(crate) fn state(&self) -> &JournalState {
+        &self.state
+    }
+
+    /// Record an accepted session (its `INIT` embedded whole).
+    pub(crate) fn open_session(
+        &mut self,
+        session: u64,
+        nonce: u64,
+        bench_spec: &str,
+        machine: &MachineProfile,
+    ) {
+        let init = Message::Init {
+            version: WIRE_VERSION,
+            bench_spec: bench_spec.to_owned(),
+            machine: Box::new(machine.clone()),
+        };
+        self.append(&Record::new(
+            "J_OPEN",
+            vec![session.to_string(), nonce.to_string(), init.encode()],
+        ));
+        self.state.sessions.insert(
+            session,
+            RecoveredSession {
+                bench_spec: bench_spec.to_owned(),
+                machine: machine.clone(),
+                nonce,
+                pending: BTreeMap::new(),
+                done: BTreeMap::new(),
+            },
+        );
+        self.state.next_session = self.state.next_session.max(session + 1);
+    }
+
+    /// Record a queued job (its `JOB` embedded whole).
+    pub(crate) fn enqueue(&mut self, session: u64, index: u64, job: &EvalJob) {
+        let msg = Message::Job { index, job: job.clone() };
+        self.append(&Record::new("J_JOB", vec![session.to_string(), msg.encode()]));
+        if let Some(s) = self.state.sessions.get_mut(&session) {
+            s.pending.insert(index, job.clone());
+        }
+    }
+
+    /// Record an assignment — diagnostics only; replay ignores it
+    /// because the worker connection died with the old process.
+    pub(crate) fn assign(&mut self, session: u64, index: u64, worker: u64) {
+        self.append(&Record::new(
+            "J_ASSIGN",
+            vec![session.to_string(), index.to_string(), worker.to_string()],
+        ));
+        self.dead += 1; // dead the moment it is written
+        self.maybe_compact();
+    }
+
+    /// Record a forwarded result (its `RESULT` embedded whole). Call
+    /// **before** the socket send — see the module docs' crash-ordering
+    /// argument.
+    pub(crate) fn result(&mut self, session: u64, index: u64, outcome: &JobOutcome) {
+        let msg = Message::Result { index, outcome: outcome.clone() };
+        self.append(&Record::new("J_RESULT", vec![session.to_string(), msg.encode()]));
+        if let Some(s) = self.state.sessions.get_mut(&session) {
+            if s.pending.remove(&index).is_some() {
+                self.dead += 1; // the J_JOB this answers
+            }
+            s.done.insert(index, outcome.clone());
+        }
+        self.maybe_compact();
+    }
+
+    /// Record a retired session; every record it wrote is now dead.
+    pub(crate) fn close(&mut self, session: u64) {
+        self.append(&Record::new("J_CLOSE", vec![session.to_string()]));
+        if let Some(s) = self.state.sessions.remove(&session) {
+            self.dead += 2 + s.pending.len() as u64 + s.done.len() as u64;
+        }
+        self.maybe_compact();
+    }
+
+    /// Append one record as a full line. Failures are reported, not
+    /// fatal: the dispatcher keeps serving (availability over
+    /// durability) and the operator sees why recovery would be stale.
+    fn append(&mut self, record: &Record) {
+        self.line.clear();
+        self.line.push_str(&record.encode());
+        self.line.push('\n');
+        if let Err(e) = self.file.write_all(self.line.as_bytes()) {
+            eprintln!("petal-farmd: journal append failed: {e}");
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead >= COMPACT_DEAD_THRESHOLD {
+            if let Err(e) = self.compact() {
+                eprintln!("petal-farmd: journal compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Rewrite the log as the minimal record set for the mirrored
+    /// state: tmp file, fsync, atomic rename.
+    fn compact(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut out = File::create(&tmp)?;
+        let mut text = String::new();
+        push_line(&mut text, &Record::new("J_NEXT", vec![self.state.next_session.to_string()]));
+        for (&id, s) in &self.state.sessions {
+            let init = Message::Init {
+                version: WIRE_VERSION,
+                bench_spec: s.bench_spec.clone(),
+                machine: Box::new(s.machine.clone()),
+            };
+            push_line(
+                &mut text,
+                &Record::new("J_OPEN", vec![id.to_string(), s.nonce.to_string(), init.encode()]),
+            );
+            for (&index, job) in &s.pending {
+                let msg = Message::Job { index, job: job.clone() };
+                push_line(&mut text, &Record::new("J_JOB", vec![id.to_string(), msg.encode()]));
+            }
+            for (&index, outcome) in &s.done {
+                let msg = Message::Result { index, outcome: outcome.clone() };
+                push_line(&mut text, &Record::new("J_RESULT", vec![id.to_string(), msg.encode()]));
+            }
+        }
+        out.write_all(text.as_bytes())?;
+        out.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.dead = 0;
+        Ok(())
+    }
+}
+
+fn push_line(out: &mut String, record: &Record) {
+    out.push_str(&record.encode());
+    out.push('\n');
+}
+
+/// Replay one journal line into `state`; returns how many already-dead
+/// records this line proves (for the compaction counter).
+fn replay_line(state: &mut JournalState, line: &str) -> Result<u64, String> {
+    let rec = Record::parse(line).map_err(|e| e.to_string())?;
+    let field = |i: usize| -> Result<&str, String> {
+        rec.fields.get(i).map(String::as_str).ok_or_else(|| format!("{} too short", rec.tag))
+    };
+    let num = |i: usize| -> Result<u64, String> {
+        field(i)?.parse().map_err(|_| format!("bad integer in {}", rec.tag))
+    };
+    match rec.tag.as_str() {
+        "J_NEXT" => {
+            state.next_session = state.next_session.max(num(0)?);
+            Ok(0)
+        }
+        "J_OPEN" => {
+            let session = num(0)?;
+            let nonce = num(1)?;
+            let Message::Init { bench_spec, machine, .. } =
+                Message::decode(field(2)?).map_err(|e| e.to_string())?
+            else {
+                return Err("J_OPEN does not embed an INIT".to_owned());
+            };
+            state.sessions.insert(
+                session,
+                RecoveredSession {
+                    bench_spec,
+                    machine: *machine,
+                    nonce,
+                    pending: BTreeMap::new(),
+                    done: BTreeMap::new(),
+                },
+            );
+            state.next_session = state.next_session.max(session + 1);
+            Ok(0)
+        }
+        "J_JOB" => {
+            let session = num(0)?;
+            let Message::Job { index, job } =
+                Message::decode(field(1)?).map_err(|e| e.to_string())?
+            else {
+                return Err("J_JOB does not embed a JOB".to_owned());
+            };
+            match state.sessions.get_mut(&session) {
+                Some(s) if !s.done.contains_key(&index) => {
+                    s.pending.insert(index, job);
+                    Ok(0)
+                }
+                _ => Ok(1), // closed session or already answered
+            }
+        }
+        "J_ASSIGN" => Ok(1), // diagnostics only; never replayed
+        "J_RESULT" => {
+            let session = num(0)?;
+            let Message::Result { index, outcome } =
+                Message::decode(field(1)?).map_err(|e| e.to_string())?
+            else {
+                return Err("J_RESULT does not embed a RESULT".to_owned());
+            };
+            match state.sessions.get_mut(&session) {
+                Some(s) => {
+                    let was_pending = s.pending.remove(&index).is_some();
+                    s.done.insert(index, outcome);
+                    Ok(u64::from(was_pending))
+                }
+                None => Ok(1),
+            }
+        }
+        "J_CLOSE" => {
+            let session = num(0)?;
+            match state.sessions.remove(&session) {
+                Some(s) => Ok(2 + s.pending.len() as u64 + s.done.len() as u64),
+                None => Ok(1),
+            }
+        }
+        tag => Err(format!("unknown journal tag `{tag}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petal_apps::Benchmark as _;
+
+    fn job(seed: u64) -> EvalJob {
+        let machine = MachineProfile::laptop();
+        let bench = petal_apps::blackscholes::BlackScholes::new(64);
+        EvalJob {
+            config: bench.program(&machine).default_config(&machine),
+            size: 64,
+            engine_seed: seed,
+        }
+    }
+
+    fn outcome(fitness: f64) -> JobOutcome {
+        JobOutcome {
+            fitness: Some(fitness),
+            ran: true,
+            makespan: fitness,
+            compiles: vec![(1, 0.5, 0.25)],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("petal-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn replay_reconstructs_sessions_jobs_and_results() {
+        let dir = tmp_dir("replay");
+        {
+            let mut j = Journal::open(&dir).expect("open");
+            j.open_session(1, 0xabcd, "sort n=64", &MachineProfile::desktop());
+            j.enqueue(1, 0, &job(10));
+            j.enqueue(1, 1, &job(11));
+            j.assign(1, 0, 3);
+            j.result(1, 0, &outcome(2.5e-3));
+            j.open_session(2, 0x1111, "sort n=64", &MachineProfile::laptop());
+            j.enqueue(2, 0, &job(20));
+            j.close(2);
+        }
+        let j = Journal::open(&dir).expect("reopen");
+        let st = j.state();
+        assert_eq!(st.next_session, 3, "session ids are never reused");
+        assert_eq!(st.sessions.len(), 1, "closed session 2 is gone");
+        let s = &st.sessions[&1];
+        assert_eq!(s.nonce, 0xabcd);
+        assert_eq!(s.bench_spec, "sort n=64");
+        assert_eq!(s.machine.codename, MachineProfile::desktop().codename);
+        assert_eq!(s.pending.keys().copied().collect::<Vec<_>>(), [1]);
+        assert_eq!(s.pending[&1].engine_seed, 11);
+        assert_eq!(s.done.len(), 1);
+        assert_eq!(s.done[&0].fitness, Some(2.5e-3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_truncated_away() {
+        let dir = tmp_dir("torn");
+        {
+            let mut j = Journal::open(&dir).expect("open");
+            j.open_session(1, 7, "sort n=64", &MachineProfile::desktop());
+            j.enqueue(1, 0, &job(1));
+        }
+        // Simulate a crash mid-append: a partial line with no newline.
+        let path = dir.join("journal.log");
+        let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+        f.write_all(b"J_JOB 1:1 13:half-a-record").expect("tear");
+        drop(f);
+        let j = Journal::open(&dir).expect("reopen tolerates the tear");
+        assert_eq!(j.state().sessions[&1].pending.len(), 1);
+        // The open() compaction rewrote the log whole — reopen again and
+        // nothing torn remains.
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.ends_with('\n'), "compacted log has no torn tail");
+        assert!(!text.contains("half-a-record"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log_and_preserves_state() {
+        let dir = tmp_dir("compact");
+        let path = dir.join("journal.log");
+        {
+            let mut j = Journal::open(&dir).expect("open");
+            j.open_session(1, 9, "sort n=64", &MachineProfile::desktop());
+            for i in 0..50 {
+                j.enqueue(1, i, &job(i));
+                j.assign(1, i, 2);
+                j.result(1, i, &outcome(1e-3));
+            }
+            let before = std::fs::metadata(&path).expect("meta").len();
+            j.compact().expect("compact");
+            let after = std::fs::metadata(&path).expect("meta").len();
+            assert!(after < before, "compaction shrinks ({before} -> {after})");
+        }
+        let j = Journal::open(&dir).expect("reopen");
+        let s = &j.state().sessions[&1];
+        assert!(s.pending.is_empty());
+        assert_eq!(s.done.len(), 50);
+        assert_eq!(j.state().next_session, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_refused_not_guessed_at() {
+        let dir = tmp_dir("corrupt");
+        {
+            let mut j = Journal::open(&dir).expect("open");
+            j.open_session(1, 7, "sort n=64", &MachineProfile::desktop());
+        }
+        let path = dir.join("journal.log");
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("garbage that is not a record\n");
+        text.push_str(&Record::new("J_CLOSE", vec!["1".to_owned()]).encode());
+        text.push('\n');
+        std::fs::write(&path, text).expect("write");
+        let err = match Journal::open(&dir) {
+            Ok(_) => panic!("mid-log corruption must refuse"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

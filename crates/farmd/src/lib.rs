@@ -37,18 +37,34 @@
 //!   silent workers, woken by a condvar on any state change;
 //! * all shared state behind one [`Mutex`] (`Inner`), and every socket
 //!   write behind a per-connection mutex **outside** the global lock, so
-//!   a slow peer can never stall the dispatcher.
+//!   a slow peer can never stall the dispatcher. Every connection also
+//!   carries a socket **write timeout**, so a wedged peer whose receive
+//!   buffer fills turns into a write error (and the worker-drain /
+//!   session-detach path) instead of parking a thread forever.
+//!
+//! ## Crash safety
+//!
+//! With `--journal <dir>` ([`FarmdOptions::journal`]) the dispatcher
+//! appends every session/job lifecycle event to a durable, wire-codec
+//! journal (see `journal`); a restarted dispatcher replays it to the
+//! exact pre-crash queue/session state, workers reconnect and drain the
+//! recovered backlog, and v4 clients re-attach their sessions with
+//! `RESUME` — the tuning loop finishes with results bit-identical to an
+//! unbounced run. See `docs/farmd.md` § "Crash recovery & journal
+//! format".
 
 #![warn(missing_docs)]
 
 mod conn;
+mod journal;
 pub mod proxy;
 pub mod registry;
 
 use conn::LineWriter;
+use journal::Journal;
 use petal_farm::net::{Endpoint, FarmListener};
 use petal_farm::wire::{Message, WIRE_VERSION};
-use petal_farm::EvalJob;
+use petal_farm::{EvalJob, JobOutcome};
 use petal_gpu::profile::MachineProfile;
 use petal_registry::{entry_from_wire, entry_to_wire, ConfigStore, DirStore};
 use registry::{Ack, JobKey, Registry};
@@ -79,6 +95,14 @@ pub struct FarmdOptions {
     /// the dispatcher's store lock. `None` bounces registry requests
     /// with a GOODBYE.
     pub registry: Option<PathBuf>,
+    /// When set, journal every session/job lifecycle event to this
+    /// directory and replay it on the next start, so a killed
+    /// dispatcher resumes mid-batch instead of vaporizing its sessions.
+    pub journal: Option<PathBuf>,
+    /// How long a detached v4 session (client disconnected, `RESUME`
+    /// still possible) is kept before being closed for good. Bounds the
+    /// memory a crashed client can pin.
+    pub session_linger: Duration,
 }
 
 impl Default for FarmdOptions {
@@ -88,6 +112,8 @@ impl Default for FarmdOptions {
             poll: Duration::from_millis(50),
             starvation: Duration::from_secs(30),
             registry: None,
+            journal: None,
+            session_linger: Duration::from_secs(60),
         }
     }
 }
@@ -122,7 +148,25 @@ struct Pending {
 struct Session {
     bench_spec: String,
     machine: MachineProfile,
-    writer: Arc<Mutex<LineWriter>>,
+    /// Resume secret handed to v4 clients in their SESSION record.
+    nonce: u64,
+    /// `None` while detached: the client is gone but the session (and
+    /// its queued/in-flight work) survives awaiting a RESUME.
+    writer: Option<Arc<Mutex<LineWriter>>>,
+    /// Bumped on every attach. A reader thread that noticed its
+    /// connection die only detaches/closes if the epoch still matches —
+    /// otherwise a newer connection already owns the session.
+    epoch: u64,
+    /// Whether the client negotiated wire v4: detach-on-disconnect,
+    /// duplicate-index suppression and done-result re-serving all key
+    /// off this, so a v≤3 client sees exactly the old behavior.
+    resumable: bool,
+    /// Outcomes already forwarded (resumable sessions only), re-served
+    /// when a resumed client re-submits an index the crash already
+    /// answered.
+    done: BTreeMap<u64, JobOutcome>,
+    /// When the session detached, for the linger reaper.
+    detached_since: Option<Instant>,
 }
 
 /// All mutable dispatcher state, behind the one global lock.
@@ -143,6 +187,9 @@ struct Inner {
     starved_since: Option<Instant>,
     requeues: u64,
     completed: u64,
+    /// The durable journal, when `--journal` is set. Inside the global
+    /// lock so appends serialize with the state changes they record.
+    journal: Option<Journal>,
 }
 
 /// State shared by every dispatcher thread.
@@ -257,17 +304,24 @@ impl Shared {
 
     /// Forward a fresh RESULT to its session's client (outside the global
     /// lock — only the session writer's own mutex is held while writing).
-    pub(crate) fn forward_result(
-        self: &Arc<Self>,
-        session: u64,
-        index: u64,
-        outcome: petal_farm::JobOutcome,
-    ) {
+    /// For resumable sessions the outcome is recorded (and journaled)
+    /// **before** the send, so a crash between the two re-serves it on
+    /// resume instead of losing it; a detached session just records.
+    pub(crate) fn forward_result(self: &Arc<Self>, session: u64, index: u64, outcome: JobOutcome) {
         let writer = {
-            let inner = self.inner.lock().expect("farmd lock");
-            inner.sessions.get(&session).map(|s| Arc::clone(&s.writer))
+            let mut inner = self.inner.lock().expect("farmd lock");
+            let Some(s) = inner.sessions.get_mut(&session) else {
+                return; // session disappeared mid-flight; drop the answer
+            };
+            let writer = s.writer.clone();
+            if s.resumable {
+                s.done.insert(index, outcome.clone());
+            }
+            if let Some(j) = inner.journal.as_mut() {
+                j.result(session, index, &outcome);
+            }
+            writer
         };
-        // A session that disappeared mid-flight just drops the answer.
         if let Some(writer) = writer {
             let sent = writer
                 .lock()
@@ -275,34 +329,180 @@ impl Shared {
                 .send(&Message::Result { index, outcome })
                 .is_ok();
             if !sent {
-                self.close_session(session, "client write failed");
+                self.client_writer_failed(session, &writer);
             }
         }
     }
 
     // ---- client-side entry points ----
 
+    /// Open a session; returns its id (the resume token) and nonce.
     pub(crate) fn open_session(
         self: &Arc<Self>,
         bench_spec: &str,
         machine: MachineProfile,
         writer: Arc<Mutex<LineWriter>>,
-    ) -> u64 {
+        resumable: bool,
+    ) -> (u64, u64) {
         let mut inner = self.inner.lock().expect("farmd lock");
         let id = inner.next_session;
         inner.next_session += 1;
-        inner.sessions.insert(id, Session { bench_spec: bench_spec.to_owned(), machine, writer });
-        id
+        let nonce = fresh_nonce(id);
+        if let Some(j) = inner.journal.as_mut() {
+            j.open_session(id, nonce, bench_spec, &machine);
+        }
+        inner.sessions.insert(
+            id,
+            Session {
+                bench_spec: bench_spec.to_owned(),
+                machine,
+                nonce,
+                writer: Some(writer),
+                epoch: 1,
+                resumable,
+                done: BTreeMap::new(),
+                detached_since: None,
+            },
+        );
+        (id, nonce)
+    }
+
+    /// Re-attach a live or journal-recovered session to a new
+    /// connection. Returns the new epoch (for the reader's stale-exit
+    /// guard) or a GOODBYE-able reason.
+    pub(crate) fn resume_session(
+        self: &Arc<Self>,
+        token: u64,
+        nonce: u64,
+        writer: Arc<Mutex<LineWriter>>,
+    ) -> Result<u64, String> {
+        let (old, epoch) = {
+            let mut inner = self.inner.lock().expect("farmd lock");
+            let Some(s) = inner.sessions.get_mut(&token) else {
+                return Err(format!("unknown session {token}; nothing to resume"));
+            };
+            if !s.resumable || s.nonce != nonce {
+                return Err(format!("session {token} does not match the presented credentials"));
+            }
+            s.epoch += 1;
+            s.detached_since = None;
+            (s.writer.replace(writer), s.epoch)
+        };
+        // A superseded live connection (e.g. the client gave up on a
+        // stalled socket the dispatcher still thinks is fine) is closed;
+        // its reader thread's exit is ignored by the epoch guard.
+        if let Some(old) = old {
+            old.lock().expect("writer lock").shutdown();
+        }
+        self.notify();
+        Ok(epoch)
+    }
+
+    /// The session's benchmark spec, for the resume serve loop.
+    pub(crate) fn session_spec(&self, session: u64) -> Option<String> {
+        let inner = self.inner.lock().expect("farmd lock");
+        inner.sessions.get(&session).map(|s| s.bench_spec.clone())
     }
 
     pub(crate) fn enqueue_job(self: &Arc<Self>, session: u64, index: u64, job: EvalJob) {
+        let done_replay = {
+            let inner = self.inner.lock().expect("farmd lock");
+            let Some(s) = inner.sessions.get(&session) else {
+                return;
+            };
+            if s.resumable {
+                // Idempotent re-submission: an index the crash already
+                // answered is re-served from the result log; one that is
+                // still queued or in flight is simply not duplicated.
+                if let Some(outcome) = s.done.get(&index) {
+                    Some((s.writer.clone(), outcome.clone()))
+                } else if inner.inflight_jobs.contains_key(&(session, index))
+                    || inner.queue.iter().any(|p| p.session == session && p.index == index)
+                {
+                    return;
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some((writer, outcome)) = done_replay {
+            if let Some(writer) = writer {
+                let sent = writer
+                    .lock()
+                    .expect("writer lock")
+                    .send(&Message::Result { index, outcome })
+                    .is_ok();
+                if !sent {
+                    self.client_writer_failed(session, &writer);
+                }
+            }
+            return;
+        }
         let mut inner = self.inner.lock().expect("farmd lock");
         if !inner.sessions.contains_key(&session) {
             return;
         }
+        if let Some(j) = inner.journal.as_mut() {
+            j.enqueue(session, index, &job);
+        }
         inner.queue.push_back(Pending { session, index, job });
         drop(inner);
         self.notify();
+    }
+
+    /// A send through `writer` failed: detach the session if that
+    /// writer is still its current one (resumable), close it otherwise.
+    /// The `Arc::ptr_eq` guard keeps a failure on a superseded writer
+    /// from tearing down a freshly resumed connection.
+    fn client_writer_failed(self: &Arc<Self>, session: u64, writer: &Arc<Mutex<LineWriter>>) {
+        let close = {
+            let mut inner = self.inner.lock().expect("farmd lock");
+            let Some(s) = inner.sessions.get_mut(&session) else { return };
+            match &s.writer {
+                Some(w) if Arc::ptr_eq(w, writer) => {}
+                _ => return,
+            }
+            if s.resumable {
+                s.writer = None;
+                s.detached_since = Some(Instant::now());
+                eprintln!(
+                    "petal-farmd: session {session} detached (client write failed); \
+                     awaiting resume"
+                );
+                false
+            } else {
+                true
+            }
+        };
+        if close {
+            self.close_session(session, "client write failed");
+        }
+    }
+
+    /// A reader thread's connection ended (EOF, error). Resumable
+    /// sessions detach and await a RESUME; others close as before. The
+    /// epoch guard makes a stale reader's exit a no-op after a resume.
+    pub(crate) fn client_gone(self: &Arc<Self>, session: u64, epoch: u64, reason: &str) {
+        let close = {
+            let mut inner = self.inner.lock().expect("farmd lock");
+            let Some(s) = inner.sessions.get_mut(&session) else { return };
+            if s.epoch != epoch {
+                return; // a newer connection owns this session now
+            }
+            if s.resumable {
+                s.writer = None;
+                s.detached_since = Some(Instant::now());
+                eprintln!("petal-farmd: session {session} detached ({reason}); awaiting resume");
+                false
+            } else {
+                true
+            }
+        };
+        if close {
+            self.close_session(session, reason);
+        }
     }
 
     // ---- registry-side entry points ----
@@ -423,12 +623,29 @@ impl Shared {
         if inner.sessions.remove(&session).is_none() {
             return; // already closed by the other path
         }
+        if let Some(j) = inner.journal.as_mut() {
+            j.close(session);
+        }
         inner.queue.retain(|p| p.session != session);
         inner.inflight_jobs.retain(|&(s, _), _| s != session);
         eprintln!("petal-farmd: session {session} closed ({reason})");
         drop(inner);
         self.notify();
     }
+}
+
+/// An unguessable-enough resume nonce: SplitMix64 over wall-clock
+/// nanoseconds mixed with the session id. It gates accidental
+/// cross-session resumes, never feeds any result, so its entropy source
+/// cannot perturb determinism.
+fn fresh_nonce(session: u64) -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0));
+    let mut z = t ^ session.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Inner {
@@ -445,15 +662,22 @@ impl Inner {
     }
 
     /// Plan one scheduler pass: expire silent workers, assign queued
-    /// jobs, and detect starvation. Returns the socket work to perform
-    /// outside the lock: send plans, worker closes, and starved sessions.
+    /// jobs, detect starvation, and reap detached sessions whose resume
+    /// window lapsed. Returns the socket work to perform outside the
+    /// lock: send plans, worker closes, starved sessions, and lingered
+    /// session ids.
     #[allow(clippy::type_complexity)]
     fn plan(
         &mut self,
         now: Instant,
         starvation: Duration,
-    ) -> (Vec<SendPlan>, Vec<(u64, Arc<Mutex<LineWriter>>)>, Vec<(u64, Arc<Mutex<LineWriter>>)>)
-    {
+        linger: Duration,
+    ) -> (
+        Vec<SendPlan>,
+        Vec<(u64, Arc<Mutex<LineWriter>>)>,
+        Vec<(u64, Arc<Mutex<LineWriter>>)>,
+        Vec<u64>,
+    ) {
         // Expiry: drain workers past the heartbeat deadline and reclaim
         // their jobs. Their connections are closed outside the lock; the
         // reader thread's EOF then removes them from the registry.
@@ -501,6 +725,9 @@ impl Inner {
             let key = (session_id, pending.index);
             self.registry.assign(worker, key);
             self.inflight_jobs.insert(key, pending.job.clone());
+            if let Some(j) = self.journal.as_mut() {
+                j.assign(session_id, pending.index, worker);
+            }
             plan.msgs.push(Message::Job { index: pending.index, job: pending.job });
         }
 
@@ -517,14 +744,26 @@ impl Inner {
                 ids.sort_unstable();
                 ids.dedup();
                 for id in ids {
-                    if let Some(session) = self.sessions.get(&id) {
-                        starved.push((id, Arc::clone(&session.writer)));
+                    // Detached sessions cannot be told; the linger
+                    // reaper below bounds their lifetime instead.
+                    if let Some(writer) = self.sessions.get(&id).and_then(|s| s.writer.clone()) {
+                        starved.push((id, writer));
                     }
                 }
                 self.starved_since = None; // re-arm for any later backlog
             }
         }
-        (plans, closes, starved)
+
+        // Linger reaping: a detached session whose client never resumed
+        // is eventually closed for good (outside the lock, since
+        // close_session re-locks).
+        let lingered: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.detached_since.is_some_and(|t| now.duration_since(t) >= linger))
+            .map(|(&id, _)| id)
+            .collect();
+        (plans, closes, starved, lingered)
     }
 }
 
@@ -551,17 +790,58 @@ impl Farmd {
             }
             None => None,
         };
+        // Journal recovery: replay the log into sessions (detached,
+        // awaiting RESUME) and a queue of every unanswered job, in
+        // (session, index) order. Inflight is empty — assignments died
+        // with the old process's worker connections.
+        let journal = match &opts.journal {
+            Some(dir) => Some(Journal::open(dir)?),
+            None => None,
+        };
+        let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
+        let mut queue: VecDeque<Pending> = VecDeque::new();
+        let mut next_session = 1;
+        if let Some(j) = &journal {
+            let state = j.state();
+            next_session = state.next_session;
+            for (&id, rs) in &state.sessions {
+                sessions.insert(
+                    id,
+                    Session {
+                        bench_spec: rs.bench_spec.clone(),
+                        machine: rs.machine.clone(),
+                        nonce: rs.nonce,
+                        writer: None,
+                        epoch: 0,
+                        resumable: true,
+                        done: rs.done.clone(),
+                        detached_since: Some(Instant::now()),
+                    },
+                );
+                for (&index, job) in &rs.pending {
+                    queue.push_back(Pending { session: id, index, job: job.clone() });
+                }
+            }
+            if !sessions.is_empty() {
+                eprintln!(
+                    "petal-farmd: recovered {} session(s) with {} queued job(s) from the journal",
+                    sessions.len(),
+                    queue.len()
+                );
+            }
+        }
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 registry: Registry::new(opts.deadline),
                 worker_writers: BTreeMap::new(),
-                sessions: BTreeMap::new(),
-                next_session: 1,
-                queue: VecDeque::new(),
+                sessions,
+                next_session,
+                queue,
                 inflight_jobs: BTreeMap::new(),
                 starved_since: None,
                 requeues: 0,
                 completed: 0,
+                journal,
             }),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -625,6 +905,20 @@ impl Farmd {
     /// Stop serving: flag every thread down, say goodbye to workers and
     /// clients, close their sockets, and join all threads.
     pub fn shutdown(&mut self) {
+        self.stop(true);
+    }
+
+    /// Hard stop: close every socket with **no** goodbyes, exactly as a
+    /// `SIGKILL` would, and join all threads. Exists so in-process
+    /// crash-recovery tests can bounce a journaled dispatcher without
+    /// granting peers the graceful-shutdown diagnostics a real crash
+    /// never sends. The journal needs no flushing — every append was a
+    /// synchronous full-line write.
+    pub fn abort(&mut self) {
+        self.stop(false);
+    }
+
+    fn stop(&mut self, graceful: bool) {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return; // second call
         }
@@ -635,12 +929,14 @@ impl Farmd {
             let inner = self.shared.inner.lock().expect("farmd lock");
             (
                 inner.worker_writers.values().cloned().collect::<Vec<_>>(),
-                inner.sessions.values().map(|s| Arc::clone(&s.writer)).collect::<Vec<_>>(),
+                inner.sessions.values().filter_map(|s| s.writer.clone()).collect::<Vec<_>>(),
             )
         };
         for writer in workers.iter().chain(&clients) {
             let mut w = writer.lock().expect("writer lock");
-            let _ = w.send(&Message::Goodbye { reason: "dispatcher shutting down".to_owned() });
+            if graceful {
+                let _ = w.send(&Message::Goodbye { reason: "dispatcher shutting down".to_owned() });
+            }
             w.shutdown();
         }
         for t in self.threads.drain(..) {
@@ -688,18 +984,22 @@ fn accept_loop(
 /// with the global lock released.
 fn scheduler_loop(shared: &Arc<Shared>) {
     while !shared.stop.load(Ordering::Relaxed) {
-        let (plans, closes, starved) = {
+        let (plans, closes, starved, lingered) = {
             let mut inner = shared.inner.lock().expect("farmd lock");
-            let (plans, closes, starved) = inner.plan(Instant::now(), shared.opts.starvation);
-            if plans.is_empty() && closes.is_empty() && starved.is_empty() {
+            let (plans, closes, starved, lingered) =
+                inner.plan(Instant::now(), shared.opts.starvation, shared.opts.session_linger);
+            if plans.is_empty() && closes.is_empty() && starved.is_empty() && lingered.is_empty() {
                 // Idle: sleep until state changes or the poll period
                 // bounds how stale expiry checks can get.
                 let _unused =
                     shared.wake.wait_timeout(inner, shared.opts.poll).expect("farmd lock");
                 continue;
             }
-            (plans, closes, starved)
+            (plans, closes, starved, lingered)
         };
+        for session in lingered {
+            shared.close_session(session, "resume window expired");
+        }
         for (id, writer) in closes {
             let mut w = writer.lock().expect("writer lock");
             let _ = w.send(&Message::Goodbye { reason: "heartbeat deadline missed".to_owned() });

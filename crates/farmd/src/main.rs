@@ -5,7 +5,7 @@ use petal_farmd::{Farmd, FarmdOptions};
 use std::time::Duration;
 
 const USAGE: &str = "usage: petal-farmd --listen <endpoint> [--listen <endpoint> ...] \
-                     [--deadline-ms <ms>] [--registry <dir>]";
+                     [--deadline-ms <ms>] [--registry <dir>] [--journal <dir>]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("petal-farmd: {msg}\n{USAGE}");
@@ -38,6 +38,10 @@ fn main() {
                 }
                 Err(e) => fail(&e),
             },
+            // Durable dispatcher state: journal session/job lifecycle to
+            // this directory and replay it on restart, so a SIGKILLed
+            // dispatcher resumes mid-batch instead of losing its queue.
+            "--journal" => opts.journal = Some(std::path::PathBuf::from(value("--journal"))),
             other => fail(&format!("unknown flag `{other}`")),
         }
     }

@@ -8,7 +8,10 @@
 //! after the 3rd RESULT" is `CloseAfterFrames(3)` on a connection whose
 //! upstream-bound traffic is RESULTs. Scripts are per accepted
 //! connection: connection *k* runs `scripts[k]`; connections beyond the
-//! script list forward cleanly. The determinism tests route workers
+//! script list forward cleanly. [`FaultProxy::start_scripted`] scripts
+//! each direction independently ([`ConnScript`]), so tests can also
+//! corrupt *downstream* traffic — a dispatcher→worker `JOB` truncated
+//! mid-write, say. The determinism tests route workers
 //! through the proxy and assert the tuner's output is bit-identical to a
 //! fault-free run — the whole point of the farm's retry design.
 
@@ -41,6 +44,19 @@ pub enum Fault {
     TruncateFrameAndClose(usize),
 }
 
+/// A per-connection fault script, one direction each way. The historical
+/// [`FaultProxy::start`] faults only peer→upstream traffic;
+/// [`FaultProxy::start_scripted`] can also corrupt the *downstream*
+/// (upstream→peer) direction — e.g. truncating a dispatcher→worker `JOB`
+/// frame mid-write.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnScript {
+    /// Faults applied to frames flowing peer → upstream.
+    pub peer_to_upstream: Vec<Fault>,
+    /// Faults applied to frames flowing upstream → peer.
+    pub upstream_to_peer: Vec<Fault>,
+}
+
 /// A running proxy. Dropping it stops the accept loop and closes every
 /// proxied connection.
 pub struct FaultProxy {
@@ -51,11 +67,31 @@ pub struct FaultProxy {
 
 impl FaultProxy {
     /// Start a proxy on an ephemeral localhost TCP port, forwarding to
-    /// `upstream`. Accepted connection *k* (0-based) runs `scripts[k]`.
+    /// `upstream`. Accepted connection *k* (0-based) runs `scripts[k]`
+    /// against its peer→upstream traffic.
     ///
     /// # Errors
     /// The listener `bind(2)` failure.
     pub fn start(upstream: Endpoint, scripts: Vec<Vec<Fault>>) -> std::io::Result<FaultProxy> {
+        Self::start_scripted(
+            upstream,
+            scripts
+                .into_iter()
+                .map(|s| ConnScript { peer_to_upstream: s, ..ConnScript::default() })
+                .collect(),
+        )
+    }
+
+    /// Start a proxy whose connection scripts can fault *either*
+    /// direction. Accepted connection *k* (0-based) runs `scripts[k]`;
+    /// connections beyond the list forward cleanly.
+    ///
+    /// # Errors
+    /// The listener `bind(2)` failure.
+    pub fn start_scripted(
+        upstream: Endpoint,
+        scripts: Vec<ConnScript>,
+    ) -> std::io::Result<FaultProxy> {
         let listener = FarmListener::bind(&Endpoint::Tcp("127.0.0.1:0".to_owned()))?;
         let endpoint = listener.local_endpoint()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -96,9 +132,9 @@ impl Drop for FaultProxy {
     }
 }
 
-/// Pump one proxied connection: faults on the peer→upstream direction,
-/// clean forwarding on the way back.
-fn proxy_conn(peer: FarmStream, upstream: &Endpoint, script: Vec<Fault>, stop: &Arc<AtomicBool>) {
+/// Pump one proxied connection, each direction under its own half of
+/// the [`ConnScript`].
+fn proxy_conn(peer: FarmStream, upstream: &Endpoint, script: ConnScript, stop: &Arc<AtomicBool>) {
     let Ok(up) = FarmStream::connect(upstream) else {
         peer.shutdown();
         return;
@@ -113,18 +149,19 @@ fn proxy_conn(peer: FarmStream, upstream: &Endpoint, script: Vec<Fault>, stop: &
     // Both pumps hold shutdown handles to *both* sockets so a close in
     // either direction (EOF or injected) tears the whole path down.
     let all = Arc::new((peer, up));
-    let faulted = {
+    let ConnScript { peer_to_upstream, upstream_to_peer } = script;
+    let outbound = {
         let all = Arc::clone(&all);
         let stop = Arc::clone(stop);
-        std::thread::spawn(move || pump(peer_r, up_w, &script, &all, &stop))
+        std::thread::spawn(move || pump(peer_r, up_w, &peer_to_upstream, &all, &stop))
     };
-    let clean = {
+    let inbound = {
         let all = Arc::clone(&all);
         let stop = Arc::clone(stop);
-        std::thread::spawn(move || pump(up_r, peer_w, &[], &all, &stop))
+        std::thread::spawn(move || pump(up_r, peer_w, &upstream_to_peer, &all, &stop))
     };
-    let _ = faulted.join();
-    let _ = clean.join();
+    let _ = outbound.join();
+    let _ = inbound.join();
 }
 
 /// Forward frames from `from` into `to`, applying `script`.

@@ -347,6 +347,51 @@ mod tests {
         assert_eq!(r.inflight_total(), 6);
     }
 
+    /// Heartbeat-deadline *flapping*: a worker that lapses and then
+    /// heartbeats again must not be resurrected in place. `touch` still
+    /// records liveness (diagnostics), but the worker stays `Draining` —
+    /// invisible to `pick`, its answers `Stale` — until its connection
+    /// is torn down and it re-registers as a brand-new id. Other
+    /// workers' in-flight FIFOs are never perturbed by the flap.
+    #[test]
+    fn lapsed_worker_heartbeating_again_is_not_resurrected() {
+        let (mut r, t0) = reg();
+        let flapper = r.register("flapper", 2, 1, t0);
+        let steady = r.register("steady", 4, 2, t0);
+        r.assign(flapper, (1, 0));
+        r.assign(steady, (1, 1));
+        r.assign(steady, (1, 2));
+
+        // The flapper goes silent past the deadline; its job re-queues.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(r.touch(steady, t1));
+        assert_eq!(r.expire(t1), vec![(flapper, vec![(1, 0)])]);
+
+        // It wakes up and heartbeats again: liveness is recorded, but the
+        // drain is one-way.
+        let t2 = t1 + Duration::from_millis(10);
+        assert!(r.touch(flapper, t2), "touch still tracks a draining worker");
+        assert_eq!(r.get(flapper).expect("listed").state, WorkerState::Draining);
+        assert_eq!(r.pick(1), Some(steady), "pick skips the draining flapper");
+        assert_eq!(r.complete(flapper, 0), Ack::Stale, "its late answer is dropped");
+        // And having been touched, it still never re-expires or re-queues.
+        let t3 = t2 + Duration::from_millis(500);
+        assert!(r.touch(steady, t3), "keep the steady worker alive");
+        assert!(r.expire(t3).is_empty());
+
+        // The steady worker's FIFO is untouched by the whole episode.
+        assert_eq!(r.complete(steady, 1), Ack::Fresh((1, 1)));
+        assert_eq!(r.complete(steady, 2), Ack::Fresh((1, 2)));
+
+        // Reconnection is a *fresh registration*: a new id, never a
+        // reused one, so a stale socket cannot impersonate its successor.
+        assert!(r.remove(flapper).is_empty(), "drain already surrendered the job");
+        let reborn = r.register("flapper", 2, 1, t2);
+        assert!(reborn > flapper, "ids are monotonic, never reused");
+        assert_eq!(r.get(reborn).expect("reborn").inflight.len(), 0);
+        assert_eq!(r.ready_count(), 2);
+    }
+
     #[test]
     fn remove_returns_outstanding_jobs_for_requeue() {
         let (mut r, t0) = reg();

@@ -107,7 +107,10 @@ fn handshake_confusion_is_answered_with_goodbye() {
     peer.send(&Message::Heartbeat { seq: 0 });
     match peer.recv() {
         Message::Goodbye { reason } => {
-            assert!(reason.contains("expected REGISTER, INIT or a registry request"), "{reason}");
+            assert!(
+                reason.contains("expected REGISTER, INIT, RESUME or a registry request"),
+                "{reason}"
+            );
             assert!(reason.contains("HEARTBEAT"), "{reason}");
         }
         other => panic!("expected GOODBYE, got {other:?}"),
@@ -165,6 +168,12 @@ fn workers_joining_after_jobs_queue_drain_the_backlog() {
         machine: Box::new(machine.clone()),
     });
     assert_eq!(client.recv(), Message::Ready { version: WIRE_VERSION });
+    // Negotiating the current wire version makes the session resumable:
+    // READY is followed by its SESSION credentials.
+    match client.recv() {
+        Message::Session { token, .. } => assert_eq!(token, 1, "first session"),
+        other => panic!("expected SESSION after READY, got {other:?}"),
+    }
     for (i, job) in jobs.iter().enumerate() {
         client.send(&Message::Job { index: i as u64, job: job.clone() });
     }

@@ -122,6 +122,40 @@ fn open_store(flags: &mut Flags) -> Result<Box<dyn ConfigStore>, String> {
         Endpoint::Tcp(_) | Endpoint::Unix(_) => {
             Ok(Box::new(RemoteStore::connect(&endpoint).map_err(|e| e.to_string())?))
         }
+        // A fallback list: the RemoteStore walks the socket elements on
+        // every connect; a `dir:` element is the terminal local
+        // fallback when no service answers.
+        Endpoint::Fallback(ref elements) => {
+            let dir = elements.iter().find_map(|e| match e {
+                Endpoint::Dir(d) => Some(d.clone()),
+                _ => None,
+            });
+            let service_err = if endpoint.socket_elements().is_empty() {
+                None
+            } else {
+                match RemoteStore::connect(&endpoint) {
+                    Ok(store) => return Ok(Box::new(store)),
+                    Err(e) => Some(e),
+                }
+            };
+            match (dir, service_err) {
+                (Some(d), Some(e)) => {
+                    eprintln!(
+                        "petal-registry: registry service unreachable ({e}); \
+                         falling back to directory {}",
+                        d.display()
+                    );
+                    Ok(Box::new(DirStore::open(d).map_err(|e| e.to_string())?))
+                }
+                (Some(d), None) => Ok(Box::new(DirStore::open(d).map_err(|e| e.to_string())?)),
+                (None, Some(e)) => {
+                    Err(format!("cannot reach the registry service at `{endpoint}`: {e}"))
+                }
+                (None, None) => {
+                    Err(format!("registry endpoint list `{endpoint}` has nothing to open"))
+                }
+            }
+        }
         Endpoint::Disabled => Err("registry disabled (`--registry none`)".into()),
     }
 }

@@ -15,7 +15,11 @@
 //!
 //! The connection is established lazily and re-established after any
 //! transport error, so a store handle outlives dispatcher restarts; each
-//! trait call is one self-contained request/response exchange.
+//! trait call is one self-contained request/response exchange. The
+//! endpoint may be a comma-separated fallback *list* (`tcp:a,tcp:b`):
+//! every (re)connect walks the list in order and takes the first
+//! dispatcher that answers, so losing the primary registry host costs
+//! one failed operation, not the store.
 
 use crate::{
     key_hash, ConfigStore, Listing, Match, MatchTier, PutOutcome, RegistryError, StoredEntry,

@@ -13,11 +13,17 @@
 //!    stream* whenever the dispatcher re-targets this worker at a new
 //!    client session — while a background thread emits `HEARTBEAT`s on a
 //!    period so the dispatcher can tell a busy worker from a dead one;
-//! 4. leave on `GOODBYE`/`DONE`/EOF.
+//! 4. leave on `GOODBYE`/`DONE`; on EOF or a socket error the worker
+//!    assumes the dispatcher is *bouncing* (crash-recovery restart) and
+//!    reconnects + re-registers within the same `patience` window,
+//!    exiting quietly only when the dispatcher stays gone.
 //!
 //! The worker stays stateless with respect to tuning: raw outcomes only,
 //! all pricing in the tuner's merge, so the dispatcher may hand any job
 //! to any worker (or the same job to two) without perturbing results.
+//! That statelessness is also what makes reconnecting trivial: a fresh
+//! `REGISTER` admits this process as a brand-new worker id, and any job
+//! lost with the old connection is simply re-queued by the dispatcher.
 
 use crate::{err, ServeError};
 use petal_apps::{benchmark_from_spec, Benchmark};
@@ -82,16 +88,64 @@ impl RemoteWriter {
     }
 }
 
+/// How one connection to the dispatcher ended.
+enum Served {
+    /// The dispatcher dismissed this worker (`GOODBYE`/`DONE`, or it
+    /// stayed gone through a whole reconnect window): final, exit clean.
+    Dismissed(String),
+    /// EOF or a socket error: the dispatcher may be bouncing — reconnect.
+    Lost(String),
+}
+
 /// Connect to a dispatcher and serve jobs until it says goodbye.
 ///
+/// A lost connection (EOF, read/write error, torn record) is *not* the
+/// end: the dispatcher may be restarting with its journal, so the worker
+/// reconnects and re-registers, keeping its `fail_after` count across
+/// attempts. Only an explicit `GOODBYE`/`DONE` — or a dispatcher that
+/// stays unreachable for a whole `patience` window — ends the process.
+///
 /// # Errors
-/// Connect/negotiation failures and protocol violations. A dispatcher
-/// that closes the connection (EOF) is a clean exit, not an error — the
-/// worker's job is to serve while the farm exists.
+/// First-connect failures, negotiation failures and protocol violations.
 pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
+    let mut served: u64 = 0;
+    let mut reconnecting = false;
+    loop {
+        match serve_once(opts, &mut served, reconnecting)? {
+            Served::Dismissed(reason) => {
+                eprintln!("petal-shard[{}]: leaving the farm: {reason}", opts.name);
+                return Ok(());
+            }
+            Served::Lost(reason) => {
+                eprintln!(
+                    "petal-shard[{}]: dispatcher connection lost ({reason}); reconnecting",
+                    opts.name
+                );
+                reconnecting = true;
+                // Brief pause so a crash-looping dispatcher is not hammered.
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// One connection's worth of serving. `served` persists across calls so
+/// `fail_after` fault injection counts jobs per *process*, not per
+/// connection. When `reconnecting`, a connect failure is a quiet
+/// dismissal (the farm is gone) rather than an error.
+fn serve_once(
+    opts: &RemoteOptions,
+    served: &mut u64,
+    reconnecting: bool,
+) -> Result<Served, ServeError> {
     let endpoint = Endpoint::parse(&opts.endpoint).map_err(err)?;
-    let stream = FarmStream::connect_retry(&endpoint, opts.patience)
-        .map_err(|e| err(format!("connecting to farmd at {endpoint}: {e}")))?;
+    let stream = match FarmStream::connect_retry(&endpoint, opts.patience) {
+        Ok(s) => s,
+        Err(e) if reconnecting => {
+            return Ok(Served::Dismissed(format!("dispatcher did not come back: {e}")));
+        }
+        Err(e) => return Err(err(format!("connecting to farmd at {endpoint}: {e}"))),
+    };
     let write_half =
         stream.try_clone().map_err(|e| err(format!("cloning farmd connection: {e}")))?;
     let mut reader = BufReader::new(stream);
@@ -100,18 +154,15 @@ pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
         enc: WireEncoder::default(),
         line: String::new(),
     }));
-    let send = |msg: &Message| -> Result<(), ServeError> {
-        writer
-            .lock()
-            .expect("writer lock")
-            .send(msg)
-            .map_err(|e| err(format!("writing to farmd: {e}")))
-    };
+    // Socket I/O failures return `Served::Lost` (reconnectable) rather
+    // than a hard error; protocol violations stay hard errors.
+    let send =
+        |msg: &Message| -> std::io::Result<()> { writer.lock().expect("writer lock").send(msg) };
     let mut line = String::new();
     let recv_line =
-        |reader: &mut BufReader<FarmStream>, line: &mut String| -> Result<bool, ServeError> {
+        |reader: &mut BufReader<FarmStream>, line: &mut String| -> std::io::Result<bool> {
             line.clear();
-            let n = reader.read_line(line).map_err(|e| err(format!("reading from farmd: {e}")))?;
+            let n = reader.read_line(line)?;
             while line.ends_with('\n') || line.ends_with('\r') {
                 line.pop();
             }
@@ -119,9 +170,13 @@ pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
         };
 
     // HELLO exchange + version negotiation.
-    send(&Message::hello())?;
-    if !recv_line(&mut reader, &mut line)? {
-        return Err(err("farmd closed the connection before HELLO"));
+    if let Err(e) = send(&Message::hello()) {
+        return Ok(Served::Lost(format!("writing HELLO: {e}")));
+    }
+    match recv_line(&mut reader, &mut line) {
+        Ok(true) => {}
+        Ok(false) => return Ok(Served::Lost("connection closed before HELLO".to_owned())),
+        Err(e) => return Ok(Served::Lost(format!("reading HELLO: {e}"))),
     }
     match Message::decode(&line).map_err(|e| err(e.to_string()))? {
         Message::Hello { min_version, max_version } => {
@@ -135,11 +190,13 @@ pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
     }
 
     // Join the pool.
-    send(&Message::Register {
+    if let Err(e) = send(&Message::Register {
         name: opts.name.clone(),
         slots: opts.slots.max(1),
         pid: u64::from(std::process::id()),
-    })?;
+    }) {
+        return Ok(Served::Lost(format!("writing REGISTER: {e}")));
+    }
 
     // Liveness thread: heartbeats flow even while a long trial evaluates,
     // because the serve loop and this thread share the writer mutex, not
@@ -173,20 +230,32 @@ pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
     }
     let _cleanup = Cleanup(Arc::clone(&stop), Arc::clone(&writer));
 
-    // Serve: INIT re-targets the session, JOB evaluates, GOODBYE/DONE/EOF
-    // ends it.
+    // Serve: INIT re-targets the session, JOB evaluates, GOODBYE/DONE
+    // dismisses, EOF/IO errors report a lost (reconnectable) dispatcher.
     let mut session: Option<(Box<dyn Benchmark>, MachineProfile)> = None;
-    let mut served: u64 = 0;
-    while recv_line(&mut reader, &mut line)? {
-        match Message::decode(&line).map_err(|e| err(e.to_string()))? {
+    loop {
+        match recv_line(&mut reader, &mut line) {
+            Ok(true) => {}
+            Ok(false) => return Ok(Served::Lost("connection closed".to_owned())),
+            Err(e) => return Ok(Served::Lost(format!("read error: {e}"))),
+        }
+        // A torn record is what a SIGKILLed dispatcher leaves mid-write:
+        // treat it as a lost connection, not a protocol crime.
+        let msg = match Message::decode(&line) {
+            Ok(m) => m,
+            Err(e) => return Ok(Served::Lost(format!("torn record: {e}"))),
+        };
+        match msg {
             Message::Init { version, bench_spec, machine } => {
                 let bench = benchmark_from_spec(&bench_spec)
                     .map_err(|e| err(format!("bad benchmark spec `{bench_spec}`: {e}")))?;
                 session = Some((bench, *machine));
-                send(&Message::Ready { version })?;
+                if let Err(e) = send(&Message::Ready { version }) {
+                    return Ok(Served::Lost(format!("writing READY: {e}")));
+                }
             }
             Message::Job { index, job } => {
-                if opts.fail_after.is_some_and(|n| served >= n) {
+                if opts.fail_after.is_some_and(|n| *served >= n) {
                     // Injected fault: die the way a crashed worker dies —
                     // mid-protocol, without a RESULT or a GOODBYE.
                     eprintln!("petal-shard[{}]: injected failure before job {index}", opts.name);
@@ -196,18 +265,18 @@ pub fn serve_remote(opts: &RemoteOptions) -> Result<(), ServeError> {
                     return Err(err(format!("JOB {index} before any INIT")));
                 };
                 let outcome = petal_farm::evaluate_job(&**bench, machine, &job);
-                send(&Message::Result { index, outcome })?;
-                served += 1;
+                if let Err(e) = send(&Message::Result { index, outcome }) {
+                    return Ok(Served::Lost(format!("writing RESULT: {e}")));
+                }
+                *served += 1;
             }
             Message::Goodbye { reason } => {
-                eprintln!("petal-shard[{}]: farmd says goodbye: {reason}", opts.name);
-                return Ok(());
+                return Ok(Served::Dismissed(format!("farmd says goodbye: {reason}")));
             }
-            Message::Done => return Ok(()),
+            Message::Done => return Ok(Served::Dismissed("farmd says done".to_owned())),
             // Stray liveness chatter is legal on any socket.
             Message::Heartbeat { .. } => {}
             other => return Err(err(format!("unexpected {other:?} from farmd"))),
         }
     }
-    Ok(()) // EOF: the dispatcher went away; a worker exits quietly.
 }
